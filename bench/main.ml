@@ -1,0 +1,19 @@
+(* Experiment + benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe               run everything (E1..E12 + timings)
+     dune exec bench/main.exe -- e3 e4      run selected experiments
+     dune exec bench/main.exe -- timings    run only the Bechamel timings
+     dune exec bench/main.exe -- quick      experiments only, no timings *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_timings = args = [] || List.mem "timings" args in
+  let selected name = args = [] || List.mem "quick" args || List.mem name args in
+  print_endline "Remote-Spanners reproduction harness (Jacquet & Viennot, RR-6679 / IPDPS'09)";
+  List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
+  if run_timings && not (List.mem "quick" args) then Timings.run ();
+  Printf.printf "\n%s\n"
+    (if !Support.failures = 0 then "ALL EXPERIMENT CHECKS PASSED"
+     else Printf.sprintf "%d EXPERIMENT CHECKS FAILED" !Support.failures);
+  exit (if !Support.failures = 0 then 0 else 1)

@@ -1,0 +1,67 @@
+(* Shared helpers for the experiment harness: input families, table
+   printing, and log-log exponent fits. *)
+open Rs_graph
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+(* Poisson unit disk graph in a FIXED square (the paper's random UDG
+   model of Section 3.2: density grows with n). *)
+let udg_fixed_square ~seed ~n ~side =
+  let rand = Rand.create seed in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  (pts, Rs_geometry.Unit_ball.udg pts)
+
+(* Unit ball graph at constant density (growing area): the bounded
+   doubling metric regime of Theorems 1 and 3. *)
+let ubg_constant_density ~seed ~n ~density =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. density) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  (pts, Rs_geometry.Unit_ball.udg pts)
+
+let er ~seed ~n ~p = Gen.erdos_renyi (Rand.create seed) n p
+
+(* Least-squares slope of ln(y) against ln(x): the growth exponent. *)
+let loglog_slope xs ys =
+  let lx = List.map (fun x -> log (float_of_int x)) xs in
+  let ly = List.map (fun y -> log (float_of_int (max 1 y))) ys in
+  let n = float_of_int (List.length lx) in
+  let sx = List.fold_left ( +. ) 0.0 lx and sy = List.fold_left ( +. ) 0.0 ly in
+  let sxx = List.fold_left (fun a x -> a +. (x *. x)) 0.0 lx in
+  let sxy = List.fold_left2 (fun a x y -> a +. (x *. y)) 0.0 lx ly in
+  ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+(* Fixed-width table printing. *)
+let print_header cols =
+  let line = String.concat " | " (List.map (fun (name, w) -> Printf.sprintf "%-*s" w name) cols) in
+  print_endline line;
+  print_endline (String.make (String.length line) '-')
+
+let print_row cols cells =
+  print_endline
+    (String.concat " | "
+       (List.map2 (fun (_, w) cell -> Printf.sprintf "%-*s" w cell) cols cells))
+
+let pct a b = 100.0 *. float_of_int a /. float_of_int b
+
+let mean_int xs =
+  if xs = [] then 0.0
+  else float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+
+let max_int_list xs = List.fold_left max 0 xs
+
+let ok_str b = if b then "PASS" else "FAIL"
+
+(* Global failure tracker so the harness can exit non-zero if a
+   theorem-level check regresses. *)
+let failures = ref 0
+
+let record_check name b =
+  if not b then begin
+    incr failures;
+    Printf.printf "!! CHECK FAILED: %s\n%!" name
+  end;
+  ok_str b

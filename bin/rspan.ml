@@ -1,0 +1,329 @@
+(* rspan — remote-spanner command-line tool.
+
+   Generate graphs, build remote-spanners, verify stretch guarantees,
+   inspect stats, simulate greedy link-state routing, export DOT.
+
+     rspan gen --family udg -n 200 --seed 7 -o g.txt
+     rspan build --algo low-stretch --eps 0.5 g.txt -o h.txt
+     rspan verify --alpha 1.5 --beta 0 g.txt h.txt
+     rspan verify --alpha 1 --beta 0 -k 2 g.txt h.txt
+     rspan stats g.txt
+     rspan route --src 0 --dst 42 g.txt h.txt
+     rspan dot g.txt h.txt -o g.dot *)
+
+open Cmdliner
+open Rs_graph
+open Rs_core
+
+let read_graph path =
+  try Ok (Graph_io.load path)
+  with Failure msg | Sys_error msg -> Error (`Msg msg)
+
+let graph_conv = Arg.conv (read_graph, fun fmt _ -> Format.fprintf fmt "<graph>")
+
+let graph_arg idx =
+  Arg.(required & pos idx (some graph_conv) None & info [] ~docv:"GRAPH" ~doc:"Graph file (n m header then edge lines).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
+
+let emit output content =
+  match output with
+  | None -> print_string content
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let family =
+    Arg.(
+      value
+      & opt (enum [ ("udg", `Udg); ("gnp", `Gnp); ("grid", `Grid); ("cycle", `Cycle);
+                    ("path", `Path); ("complete", `Complete); ("hypercube", `Hypercube);
+                    ("tree", `Tree); ("theta", `Theta) ])
+          `Udg
+      & info [ "family" ] ~docv:"FAMILY" ~doc:"Graph family: udg, gnp, grid, cycle, path, complete, hypercube, tree, theta.")
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of vertices (or per-dimension size).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let p = Arg.(value & opt float 0.1 & info [ "p" ] ~doc:"Edge probability for gnp.") in
+  let density = Arg.(value & opt float 4.0 & info [ "density" ] ~doc:"Points per unit square for udg.") in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Branch count for theta.") in
+  let coords =
+    Arg.(value & opt (some string) None
+         & info [ "coords" ] ~docv:"FILE" ~doc:"For udg: also save point coordinates (for 'rspan render').")
+  in
+  let run family n seed p density k coords output =
+    let rand = Rand.create seed in
+    let g =
+      match family with
+      | `Udg ->
+          let side = sqrt (float_of_int n /. density) in
+          let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+          (match coords with Some f -> Rs_geometry.Point_io.save f pts | None -> ());
+          Rs_geometry.Unit_ball.udg pts
+      | `Gnp -> Gen.erdos_renyi rand n p
+      | `Grid ->
+          let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+          Gen.grid side side
+      | `Cycle -> Gen.cycle n
+      | `Path -> Gen.path_graph n
+      | `Complete -> Gen.complete n
+      | `Hypercube -> Gen.hypercube n
+      | `Tree -> Gen.random_tree rand n
+      | `Theta -> Gen.theta k (max 1 (n / k))
+    in
+    emit output (Graph_io.to_string g);
+    Logs.app (fun m -> m "generated: n=%d m=%d" (Graph.n g) (Graph.m g));
+    Ok ()
+  in
+  let term =
+    Term.(term_result (const run $ family $ n $ seed $ p $ density $ k $ coords $ output_arg))
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a graph.") term
+
+(* ------------------------------------------------------------------ *)
+(* build *)
+
+let algo_enum =
+  [ ("exact", `Exact); ("low-stretch", `Low_stretch); ("low-stretch-gdy", `Low_stretch_gdy);
+    ("k-connecting", `K_connecting); ("two-connecting", `Two_connecting);
+    ("k-connecting-mis", `K_connecting_mis); ("mpr", `Mpr); ("greedy-spanner", `Greedy);
+    ("baswana-sen", `Baswana); ("additive2", `Additive2); ("bfs-tree", `Bfs_tree); ("edge-two-connecting", `Edge_two);
+    ("full", `Full) ]
+
+let build_cmd =
+  let algo =
+    Arg.(value & opt (enum algo_enum) `Exact
+         & info [ "algo" ] ~docv:"ALGO"
+             ~doc:"Construction: exact (1,0)-RS, low-stretch / low-stretch-gdy (1+eps,1-2eps)-RS, k-connecting (1,0)-RS, two-connecting / k-connecting-mis (2,-1)-RS, edge-two-connecting, mpr, greedy-spanner, baswana-sen, additive2, bfs-tree, full.")
+  in
+  let eps = Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Stretch parameter for low-stretch.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Connectivity / stretch parameter.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomized baselines.") in
+  let run algo eps k seed g output =
+    let h =
+      match algo with
+      | `Exact -> Remote_spanner.exact_distance g
+      | `Low_stretch -> Remote_spanner.low_stretch g ~eps
+      | `Low_stretch_gdy ->
+          Remote_spanner.rem_span g ~r:(Remote_spanner.r_of_eps eps) ~beta:1
+      | `K_connecting -> Remote_spanner.k_connecting g ~k
+      | `Two_connecting -> Remote_spanner.two_connecting g
+      | `Edge_two -> Extensions.edge_two_connecting g
+      | `K_connecting_mis -> Remote_spanner.k_connecting_mis g ~k
+      | `Mpr -> Mpr.relay_union g Mpr.select
+      | `Greedy -> Baseline.greedy_spanner g ~k
+      | `Baswana -> Baseline.baswana_sen (Rand.create seed) g ~k
+      | `Additive2 -> Baseline.additive2 g
+      | `Bfs_tree -> Baseline.bfs_tree g ~root:0
+      | `Full -> Baseline.full g
+    in
+    emit output (Graph_io.to_string (Edge_set.to_graph h));
+    Logs.app (fun m ->
+        m "spanner: %d of %d edges (%.1f%%)" (Edge_set.cardinal h) (Graph.m g)
+          (100.0 *. float_of_int (Edge_set.cardinal h) /. float_of_int (max 1 (Graph.m g))));
+    Ok ()
+  in
+  let term = Term.(term_result (const run $ algo $ eps $ k $ seed $ graph_arg 0 $ output_arg)) in
+  Cmd.v (Cmd.info "build" ~doc:"Build a remote-spanner or baseline spanner.") term
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let edge_set_of g file =
+  match read_graph file with
+  | Error e -> Error e
+  | Ok hg ->
+      if Graph.n hg <> Graph.n g then Error (`Msg "spanner has a different vertex count")
+      else begin
+        let h = Edge_set.create g in
+        try
+          Graph.iter_edges (fun u v -> Edge_set.add h u v) hg;
+          Ok h
+        with Not_found -> Error (`Msg "spanner contains an edge absent from the graph")
+      end
+
+let verify_cmd =
+  let alpha = Arg.(value & opt float 1.0 & info [ "alpha" ] ~doc:"Multiplicative stretch.") in
+  let beta = Arg.(value & opt float 0.0 & info [ "beta" ] ~doc:"Additive stretch.") in
+  let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Check k-connecting stretch up to k (k=1: plain remote-spanner).") in
+  let edge = Arg.(value & flag & info [ "edge" ] ~doc:"With -k: use edge-disjoint paths instead of vertex-disjoint.") in
+  let spanner_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Spanner edge file.") in
+  let run alpha beta k edge g spanner_file =
+    match edge_set_of g spanner_file with
+    | Error e -> Error e
+    | Ok h ->
+        let ok =
+          if k <= 1 then Verify.is_remote_spanner g h ~alpha ~beta
+          else if edge then Verify.is_edge_k_connecting g h ~alpha ~beta ~k
+          else Verify.is_k_connecting g h ~alpha ~beta ~k
+        in
+        if ok then begin
+          Logs.app (fun m -> m "OK: (%g, %g)-remote-spanner%s" alpha beta
+                       (if k > 1 then
+                          Printf.sprintf " (%s%d-connecting)" (if edge then "edge-" else "") k
+                        else ""));
+          Ok ()
+        end
+        else begin
+          let vs =
+            if k <= 1 then Verify.remote_spanner_violations g h ~alpha ~beta ~max_violations:5
+            else if edge then
+              Verify.edge_k_connecting_violations g h ~alpha ~beta ~k ~max_violations:5
+            else Verify.k_connecting_violations g h ~alpha ~beta ~k ~max_violations:5
+          in
+          List.iter
+            (fun v -> Logs.app (fun m -> m "violation: %a" Verify.pp_violation v))
+            vs;
+          Error (`Msg "stretch violated")
+        end
+  in
+  let term = Term.(term_result (const run $ alpha $ beta $ k $ edge $ graph_arg 0 $ spanner_file)) in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify the (alpha, beta)[, k-connecting] remote-spanner property.") term
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run g =
+    let degrees = Graph.fold_vertices (fun acc u -> Graph.degree g u :: acc) [] g in
+    let avg_deg =
+      if degrees = [] then 0.0
+      else float_of_int (List.fold_left ( + ) 0 degrees) /. float_of_int (List.length degrees)
+    in
+    Logs.app (fun m -> m "n=%d m=%d" (Graph.n g) (Graph.m g));
+    Logs.app (fun m -> m "degree: max=%d avg=%.2f min=%d" (Graph.max_degree g) avg_deg
+                 (Connectivity.min_degree g));
+    Logs.app (fun m -> m "components=%d diameter=%d" (Connectivity.component_count g)
+                 (Bfs.diameter g));
+    Ok ()
+  in
+  let term = Term.(term_result (const run $ graph_arg 0)) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print basic graph statistics.") term
+
+(* ------------------------------------------------------------------ *)
+(* route *)
+
+let route_cmd =
+  let src = Arg.(value & opt int 0 & info [ "src" ] ~doc:"Source vertex.") in
+  let dst = Arg.(value & opt int 1 & info [ "dst" ] ~doc:"Destination vertex.") in
+  let spanner_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Advertised sub-graph file.") in
+  let run src dst g spanner_file =
+    match edge_set_of g spanner_file with
+    | Error e -> Error e
+    | Ok h ->
+        let ls = Rs_routing.Link_state.make g h in
+        (match Rs_routing.Link_state.route ls ~src ~dst with
+        | None -> Error (`Msg "destination unreachable")
+        | Some p ->
+            Logs.app (fun m ->
+                m "route (%d hops, shortest %d): %a" (Path.length p)
+                  (Bfs.dist_pair g src dst) Path.pp p);
+            Ok ())
+  in
+  let term = Term.(term_result (const run $ src $ dst $ graph_arg 0 $ spanner_file)) in
+  Cmd.v (Cmd.info "route" ~doc:"Greedy link-state route over an advertised sub-graph.") term
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot_cmd =
+  let spanner_file = Arg.(value & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Optional spanner to highlight.") in
+  let run g spanner_file output =
+    match spanner_file with
+    | None ->
+        emit output (Graph_io.to_dot g);
+        Ok ()
+    | Some file -> (
+        match edge_set_of g file with
+        | Error e -> Error e
+        | Ok h ->
+            emit output (Graph_io.to_dot ~highlight:h g);
+            Ok ())
+  in
+  let term = Term.(term_result (const run $ graph_arg 0 $ spanner_file $ output_arg)) in
+  Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz DOT, optionally highlighting a spanner.") term
+
+(* ------------------------------------------------------------------ *)
+(* render *)
+
+let render_cmd =
+  let coords_file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"COORDS" ~doc:"Coordinate file written by 'rspan gen --coords'.")
+  in
+  let spanner_file =
+    Arg.(value & pos 2 (some string) None & info [] ~docv:"SPANNER" ~doc:"Optional spanner to highlight ('#').")
+  in
+  let width = Arg.(value & opt int 76 & info [ "width" ] ~doc:"Canvas width.") in
+  let height = Arg.(value & opt int 28 & info [ "height" ] ~doc:"Canvas height.") in
+  let run g coords_file spanner_file width height =
+    match (try Ok (Rs_geometry.Point_io.load coords_file) with Failure m | Sys_error m -> Error (`Msg m)) with
+    | Error e -> Error e
+    | Ok pts -> (
+        let draw spanner =
+          print_endline (Rs_geometry.Render.render ~width ~height ?spanner pts g);
+          Ok ()
+        in
+        match spanner_file with
+        | None -> draw None
+        | Some file -> (
+            match edge_set_of g file with Error e -> Error e | Ok h -> draw (Some h)))
+  in
+  let term =
+    Term.(term_result (const run $ graph_arg 0 $ coords_file $ spanner_file $ width $ height))
+  in
+  Cmd.v (Cmd.info "render" ~doc:"ASCII-render a geometric graph (and optionally a spanner).") term
+
+(* ------------------------------------------------------------------ *)
+(* churn *)
+
+let churn_cmd =
+  let n = Arg.(value & opt int 60 & info [ "n" ] ~doc:"Number of mobile nodes.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let speed = Arg.(value & opt float 0.1 & info [ "speed" ] ~doc:"Max node speed per step.") in
+  let refresh = Arg.(value & opt int 8 & info [ "refresh" ] ~doc:"Advertisement refresh period (steps).") in
+  let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Simulation length (steps).") in
+  let side = Arg.(value & opt float 4.0 & info [ "side" ] ~doc:"Square side (unit radio range).") in
+  let run n seed speed refresh steps side =
+    let module W = Rs_mobility.Waypoint in
+    let module C = Rs_mobility.Churn_eval in
+    let model =
+      W.create (Rand.create seed) ~n ~side ~speed_min:(speed /. 2.0) ~speed_max:speed
+        ~pause:2
+    in
+    let strategies =
+      [ { C.name = "full LS"; build = Baseline.full };
+        { C.name = "(1,0)-RS"; build = Remote_spanner.exact_distance };
+        { C.name = "(1.5,0)-RS"; build = (fun g -> Remote_spanner.low_stretch g ~eps:0.5) };
+        { C.name = "2conn-RS"; build = Remote_spanner.two_connecting } ]
+    in
+    let reports =
+      C.run (Rand.create (seed + 1)) ~model ~strategies ~steps ~refresh ~pairs_per_step:6
+    in
+    List.iter
+      (fun r ->
+        Logs.app (fun m ->
+            m "%-12s delivery %5.1f%%  stretch %.3f  advertised %.0f" r.C.name
+              (100.0 *. float_of_int r.C.delivered /. float_of_int (max 1 r.C.pairs_attempted))
+              r.C.mean_stretch r.C.mean_advertised))
+      reports;
+    Ok ()
+  in
+  let term = Term.(term_result (const run $ n $ seed $ speed $ refresh $ steps $ side)) in
+  Cmd.v (Cmd.info "churn" ~doc:"Routing-under-mobility comparison of advertised sub-graphs.") term
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.App);
+  let doc = "remote-spanner toolkit (Jacquet & Viennot, IPDPS 2009)" in
+  let info = Cmd.info "rspan" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ gen_cmd; build_cmd; verify_cmd; stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,84 @@
+(* Ad hoc routing scenario (the paper's motivation, Section 1).
+
+   An OLSR-style network floods link-state advertisements. Flooding
+   the full topology is expensive; flooding a remote-spanner keeps
+   routes near-optimal at a fraction of the control traffic. This
+   example plays the whole protocol:
+
+   1. nodes discover neighbors (hello messages);
+   2. each advertised sub-graph choice is compared on (a) LSA volume,
+      (b) MPR-flooding cost of distributing it, (c) route stretch of
+      greedy forwarding over it.
+
+     dune exec examples/adhoc_routing.exe *)
+
+open Rs_graph
+open Rs_core
+open Rs_routing
+
+let () =
+  let rand = Rand.create 7 in
+  let n = 120 in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side:5.0 in
+  let g = Rs_geometry.Unit_ball.udg pts in
+  Printf.printf "ad hoc network: %d nodes, %d radio links, diameter %d\n\n" (Graph.n g)
+    (Graph.m g) (Bfs.diameter g);
+
+  (* Control-plane cost of flooding one LSA per node, using MPR
+     flooding (what OLSR actually does) vs blind flooding. *)
+  let relays u = Mpr.select g u in
+  let flood_cost () =
+    let total = ref 0 in
+    Graph.iter_vertices
+      (fun src -> total := !total + (Mpr.flood g ~relays ~src).Mpr.retransmissions)
+      g;
+    !total
+  in
+  let blind_cost () =
+    let total = ref 0 in
+    Graph.iter_vertices
+      (fun src -> total := !total + (Mpr.blind_flood g ~src).Mpr.retransmissions)
+      g;
+    !total
+  in
+  Printf.printf "flooding one message from every node: MPR %d retransmissions, blind %d\n\n"
+    (flood_cost ()) (blind_cost ());
+
+  let header = Printf.sprintf "%-22s %8s %8s %10s %10s" "advertised sub-graph" "links" "LSA" "worst" "mean" in
+  print_endline header;
+  print_endline (String.make (String.length header) '-');
+  let scenario name h =
+    let ls = Link_state.make g h in
+    let r = Link_state.measure_stretch ls in
+    assert (r.Link_state.delivered = r.Link_state.pairs);
+    Printf.printf "%-22s %8d %8d %9.2fx %9.3fx\n" name (Edge_set.cardinal h)
+      (Link_state.advertisement_size ls) r.Link_state.worst_mult r.Link_state.mean_mult
+  in
+  scenario "full topology (OSPF)" (Baseline.full g);
+  scenario "(1,0)-RS (MPR links)" (Remote_spanner.exact_distance g);
+  scenario "(1.5,0)-RS" (Remote_spanner.low_stretch g ~eps:0.5);
+  scenario "(2,-1)-RS" (Remote_spanner.low_stretch g ~eps:1.0);
+  scenario "BFS tree" (Baseline.bfs_tree g ~root:0);
+
+  (* One concrete route, end to end. *)
+  let h = Remote_spanner.low_stretch g ~eps:0.5 in
+  let ls = Link_state.make g h in
+  let far_pair () =
+    let best = ref (0, 0, 0) in
+    Graph.iter_vertices
+      (fun s ->
+        let d = Bfs.dist g s in
+        Graph.iter_vertices
+          (fun t ->
+            let _, _, bd = !best in
+            if d.(t) > bd then best := (s, t, d.(t)))
+          g)
+      g;
+    !best
+  in
+  let s, t, d = far_pair () in
+  match Link_state.route ls ~src:s ~dst:t with
+  | Some p ->
+      Format.printf "\nworst-case pair %d -> %d: shortest %d hops, greedy route %d hops:@ %a@."
+        s t d (Path.length p) Path.pp p
+  | None -> assert false

@@ -1,0 +1,47 @@
+(* A mobile ad hoc network: nodes move (random waypoint), the
+   advertised remote-spanner refreshes periodically, packets route
+   over stale knowledge plus fresh neighbor awareness.
+
+     dune exec examples/mobile_network.exe [-- <speed> <refresh>] *)
+
+open Rs_graph
+module W = Rs_mobility.Waypoint
+module C = Rs_mobility.Churn_eval
+
+let () =
+  let speed = if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.1 in
+  let refresh = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 8 in
+  let model =
+    W.create (Rand.create 33) ~n:70 ~side:4.5 ~speed_min:(speed /. 2.0) ~speed_max:speed
+      ~pause:3
+  in
+  Printf.printf
+    "70 mobile nodes, side 4.5, speed <= %.2f/step, advertisements every %d steps\n\n"
+    speed refresh;
+  let strategies =
+    [
+      { C.name = "full link-state"; build = Rs_core.Baseline.full };
+      { C.name = "(1,0)-remote-spanner"; build = Rs_core.Remote_spanner.exact_distance };
+      { C.name = "2-connecting RS"; build = Rs_core.Remote_spanner.two_connecting };
+    ]
+  in
+  let reports =
+    C.run (Rand.create 35) ~model ~strategies ~steps:60 ~refresh ~pairs_per_step:8
+  in
+  Printf.printf "%-22s %10s %10s %12s\n" "strategy" "delivery" "stretch" "advertised";
+  print_endline (String.make 58 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-22s %9.1f%% %10.3f %12.0f\n" r.C.name
+        (100.0 *. float_of_int r.C.delivered /. float_of_int (max 1 r.C.pairs_attempted))
+        r.C.mean_stretch r.C.mean_advertised)
+    reports;
+  (match reports with
+  | r :: _ ->
+      Printf.printf "\ntopology churn over the run: %d link flips in %d steps\n"
+        r.C.link_changes r.C.steps
+  | [] -> ());
+  print_endline
+    "\nthe remote-spanners deliver within a few points of full link-state\n\
+     at a fraction of the control volume; shrink the refresh period or\n\
+     the speed and all strategies converge to 100%."

@@ -1,0 +1,40 @@
+(* Quickstart: build a remote-spanner of an ad hoc network and check
+   the guarantee it ships with.
+
+     dune exec examples/quickstart.exe *)
+
+open Rs_graph
+open Rs_core
+
+let () =
+  (* 1. An input graph: 150 radio nodes in a square, unit disk model. *)
+  let rand = Rand.create 42 in
+  let pts = Rs_geometry.Sampler.uniform rand ~n:150 ~dim:2 ~side:6.0 in
+  let g = Rs_geometry.Unit_ball.udg pts in
+  Printf.printf "network: %d nodes, %d links\n" (Graph.n g) (Graph.m g);
+
+  (* 2. A (1.5, 0)-remote-spanner: each node knows its own neighbors,
+     so advertising H suffices for routes at most 1.5x optimal. *)
+  let eps = 0.5 in
+  let h = Remote_spanner.low_stretch g ~eps in
+  Printf.printf "remote-spanner: %d links advertised (%.0f%% of the topology)\n"
+    (Edge_set.cardinal h)
+    (100.0 *. float_of_int (Edge_set.cardinal h) /. float_of_int (Graph.m g));
+
+  (* 3. Verify the guarantee exhaustively — the library never asks you
+     to trust it. *)
+  let alpha = 1.0 +. eps and beta = 1.0 -. (2.0 *. eps) in
+  assert (Verify.is_remote_spanner g h ~alpha ~beta);
+  Printf.printf "verified: d_Hu(u,v) <= %.1f d_G(u,v) %+.1f for all pairs\n" alpha beta;
+
+  (* 4. Inspect one pair: distance in G vs distance in H_u. *)
+  let u = 0 in
+  let h_adj = Edge_set.to_adjacency h in
+  let d_g = Bfs.dist g u and d_hu = Bfs.augmented_dist g h_adj u in
+  let v =
+    (* farthest reachable node from u *)
+    Graph.fold_vertices
+      (fun best w -> if d_g.(w) > d_g.(best) then w else best)
+      u g
+  in
+  Printf.printf "example pair %d->%d: d_G=%d, d_Hu=%d\n" u v d_g.(v) d_hu.(v)

@@ -1,0 +1,64 @@
+(* Edge-count scaling (Table 1's sparsity claims, pocket edition).
+
+   Usage: dune exec examples/scaling.exe [-- dense|sparse]
+
+   dense  — fixed square, growing n: (1,0)-remote-spanner edges grow
+            like n^(4/3) while the topology grows like n^2 (Section 3.2)
+   sparse — constant density, growing n: (1+eps)-RS and 2-connecting
+            RS edges grow linearly (Theorems 1 and 3) *)
+
+open Rs_graph
+open Rs_core
+
+let fit xs ys =
+  let lx = List.map (fun x -> log (float_of_int x)) xs
+  and ly = List.map (fun y -> log (float_of_int (max 1 y))) ys in
+  let n = float_of_int (List.length lx) in
+  let sx = List.fold_left ( +. ) 0.0 lx and sy = List.fold_left ( +. ) 0.0 ly in
+  let sxx = List.fold_left (fun a x -> a +. (x *. x)) 0.0 lx in
+  let sxy = List.fold_left2 (fun a x y -> a +. (x *. y)) 0.0 lx ly in
+  ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let dense () =
+  print_endline "fixed 5x5 square, growing n (paper: H ~ n^4/3, G ~ n^2)";
+  Printf.printf "%6s %10s %10s\n" "n" "m(G)" "(1,0)-RS";
+  let sizes = [ 100; 200; 400; 800 ] in
+  let ms = ref [] and hs = ref [] in
+  List.iter
+    (fun n ->
+      let rand = Rand.create (100 + n) in
+      let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side:5.0 in
+      let g = Rs_geometry.Unit_ball.udg pts in
+      let h = Remote_spanner.exact_distance g in
+      ms := Graph.m g :: !ms;
+      hs := Edge_set.cardinal h :: !hs;
+      Printf.printf "%6d %10d %10d\n%!" n (Graph.m g) (Edge_set.cardinal h))
+    sizes;
+  Printf.printf "fitted: m(G) ~ n^%.2f, H ~ n^%.2f (paper: 2 vs 4/3+log)\n"
+    (fit sizes (List.rev !ms))
+    (fit sizes (List.rev !hs))
+
+let sparse () =
+  print_endline "constant density 4, growing n (paper: both spanners linear)";
+  Printf.printf "%6s %10s %12s %14s\n" "n" "m(G)" "(1.5,0)-RS/n" "2conn-RS/n";
+  List.iter
+    (fun n ->
+      let rand = Rand.create (200 + n) in
+      let side = sqrt (float_of_int n /. 4.0) in
+      let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+      let g = Rs_geometry.Unit_ball.udg pts in
+      let h1 = Remote_spanner.low_stretch g ~eps:0.5 in
+      let h2 = Remote_spanner.two_connecting g in
+      Printf.printf "%6d %10d %12.2f %14.2f\n%!" n (Graph.m g)
+        (float_of_int (Edge_set.cardinal h1) /. float_of_int n)
+        (float_of_int (Edge_set.cardinal h2) /. float_of_int n))
+    [ 125; 250; 500; 1000 ]
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "both" with
+  | "dense" -> dense ()
+  | "sparse" -> sparse ()
+  | _ ->
+      dense ();
+      print_newline ();
+      sparse ()

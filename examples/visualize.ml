@@ -1,0 +1,36 @@
+(* Terminal visualization of a unit disk network and its
+   remote-spanner, plus the paper's Figure 1 instance.
+
+     dune exec examples/visualize.exe            (random UDG)
+     dune exec examples/visualize.exe -- figure1 *)
+
+open Rs_graph
+open Rs_core
+
+let show_udg () =
+  let rand = Rand.create 4 in
+  let pts = Rs_geometry.Sampler.uniform rand ~n:40 ~dim:2 ~side:4.0 in
+  let g = Rs_geometry.Unit_ball.udg pts in
+  let h = Remote_spanner.exact_distance g in
+  Printf.printf "unit disk graph: n=%d m=%d; (1,0)-remote-spanner: %d edges ('#')\n\n"
+    (Graph.n g) (Graph.m g) (Edge_set.cardinal h);
+  print_endline (Rs_geometry.Render.render ~width:76 ~height:30 ~spanner:h pts g)
+
+let show_figure1 () =
+  let f = Rs_geometry.Figure1.instance () in
+  let g = f.Rs_geometry.Figure1.graph in
+  let lbl i = (Rs_geometry.Figure1.label f i).[0] in
+  let show title h =
+    Printf.printf "%s\n\n%s\n\n" title
+      (Rs_geometry.Render.render ~width:56 ~height:18 ?spanner:h ~labels:lbl
+         f.Rs_geometry.Figure1.points g)
+  in
+  show "(a) the unit disk graph G (y' and x' render as y and x)" None;
+  show "(b) a (1,0)-remote-spanner (edges '#')" (Some (Remote_spanner.exact_distance g));
+  show "(c) a (2,-1)-remote-spanner" (Some (Remote_spanner.rem_span g ~r:2 ~beta:1));
+  show "(d) a 2-connecting (2,-1)-remote-spanner" (Some (Remote_spanner.two_connecting g))
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "udg" with
+  | "figure1" -> show_figure1 ()
+  | _ -> show_udg ()

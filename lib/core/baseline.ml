@@ -1,0 +1,185 @@
+open Rs_graph
+
+let full g = Edge_set.full g
+
+let bfs_tree g ~root =
+  let h = Edge_set.create g in
+  let seen = Array.make (Graph.n g) false in
+  let cover src =
+    let parent = Bfs.parents g src in
+    Array.iteri
+      (fun v p ->
+        if p >= 0 then begin
+          seen.(v) <- true;
+          if v <> src then Edge_set.add h v p
+        end)
+      parent
+  in
+  cover root;
+  (* extra components get their own tree, rooted at their least vertex *)
+  Graph.iter_vertices (fun v -> if not seen.(v) then cover v) g;
+  h
+
+(* Bounded-depth BFS over the kept edge set only. *)
+let kept_dist_exceeds g h u v limit =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  dist.(u) <- 0;
+  queue.(0) <- u;
+  let head = ref 0 and tail = ref 1 in
+  let found = ref false in
+  while (not !found) && !head < !tail do
+    let x = queue.(!head) in
+    incr head;
+    if dist.(x) < limit then
+      Array.iter
+        (fun y ->
+          if dist.(y) < 0 && Edge_set.mem h x y then begin
+            dist.(y) <- dist.(x) + 1;
+            if y = v then found := true;
+            queue.(!tail) <- y;
+            incr tail
+          end)
+        (Graph.neighbors g x)
+  done;
+  not !found
+
+let greedy_spanner g ~k =
+  if k < 1 then invalid_arg "Baseline.greedy_spanner: k < 1";
+  let h = Edge_set.create g in
+  Graph.iter_edges
+    (fun u v -> if kept_dist_exceeds g h u v ((2 * k) - 1) then Edge_set.add h u v)
+    g;
+  h
+
+let baswana_sen rand g ~k =
+  if k < 1 then invalid_arg "Baseline.baswana_sen: k < 1";
+  let n = Graph.n g in
+  let h = Edge_set.create g in
+  if n = 0 then h
+  else begin
+    let p = Float.pow (float_of_int n) (-1.0 /. float_of_int k) in
+    (* cluster.(v) = id of v's cluster, or -1 once v has left clustering *)
+    let cluster = Array.init n Fun.id in
+    for _phase = 1 to k - 1 do
+      (* sample surviving clusters *)
+      let cluster_ids = Hashtbl.create 64 in
+      Array.iter (fun c -> if c >= 0 then Hashtbl.replace cluster_ids c ()) cluster;
+      let sampled = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun c () -> if Rand.float rand 1.0 < p then Hashtbl.replace sampled c ())
+        cluster_ids;
+      let next = Array.make n (-1) in
+      for v = 0 to n - 1 do
+        if cluster.(v) >= 0 then begin
+          if Hashtbl.mem sampled cluster.(v) then next.(v) <- cluster.(v)
+          else begin
+            (* neighbors grouped by their current cluster *)
+            let by_cluster = Hashtbl.create 8 in
+            Array.iter
+              (fun w ->
+                let c = cluster.(w) in
+                if c >= 0 && not (Hashtbl.mem by_cluster c) then Hashtbl.replace by_cluster c w)
+              (Graph.neighbors g v);
+            (* adjacent sampled cluster? join the first one *)
+            let joined = ref false in
+            Hashtbl.iter
+              (fun c w ->
+                if (not !joined) && Hashtbl.mem sampled c then begin
+                  Edge_set.add h v w;
+                  next.(v) <- c;
+                  joined := true
+                end)
+              by_cluster;
+            if not !joined then
+              (* leave clustering: keep one edge per adjacent cluster *)
+              Hashtbl.iter (fun _c w -> Edge_set.add h v w) by_cluster
+          end
+        end
+      done;
+      Array.blit next 0 cluster 0 n
+    done;
+    (* final phase: every vertex keeps one edge to each adjacent
+       surviving cluster *)
+    for v = 0 to n - 1 do
+      let by_cluster = Hashtbl.create 8 in
+      Array.iter
+        (fun w ->
+          let c = cluster.(w) in
+          if c >= 0 && c <> cluster.(v) && not (Hashtbl.mem by_cluster c) then
+            Hashtbl.replace by_cluster c w)
+        (Graph.neighbors g v);
+      Hashtbl.iter (fun _c w -> Edge_set.add h v w) by_cluster
+    done;
+    (* intra-cluster spanning edges: each clustered vertex keeps the
+       edge through which it joined; vertices keep cluster-internal
+       adjacency via one edge to the cluster center's tree — in the
+       unweighted case joining edges were already added above, and the
+       initial singleton phase needs none. *)
+    h
+  end
+
+let additive2 g =
+  let n = Graph.n g in
+  let h = Edge_set.create g in
+  if n = 0 then h
+  else begin
+    let s = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+    let high = ref [] in
+    Graph.iter_vertices
+      (fun u ->
+        if Graph.degree g u < s then
+          Array.iter (fun v -> Edge_set.add h u v) (Graph.neighbors g u)
+        else high := u :: !high)
+      g;
+    (* greedily dominate high-degree vertices by vertices (a high
+       vertex or one of its neighbors), add BFS tree per dominator *)
+    let alive = Hashtbl.create 64 in
+    List.iter (fun u -> Hashtbl.replace alive u ()) !high;
+    while Hashtbl.length alive > 0 do
+      (* candidate dominators: count coverage = undominated high
+         vertices in closed neighborhood *)
+      let best = ref (-1) and best_cov = ref 0 in
+      for x = 0 to n - 1 do
+        let c =
+          (if Hashtbl.mem alive x then 1 else 0)
+          + Array.fold_left
+              (fun acc w -> if Hashtbl.mem alive w then acc + 1 else acc)
+              0 (Graph.neighbors g x)
+        in
+        if c > !best_cov then begin
+          best := x;
+          best_cov := c
+        end
+      done;
+      assert (!best >= 0);
+      let x = !best in
+      if Hashtbl.mem alive x then Hashtbl.remove alive x;
+      Array.iter
+        (fun w -> if Hashtbl.mem alive w then Hashtbl.remove alive w)
+        (Graph.neighbors g x);
+      (* full BFS tree from the dominator *)
+      let parent = Bfs.parents g x in
+      Array.iteri (fun v pv -> if pv >= 0 && v <> x then Edge_set.add h v pv) parent
+    done;
+    h
+  end
+
+let is_spanner g h ~alpha ~beta =
+  let h_adj = Edge_set.to_adjacency h in
+  let ok = ref true in
+  Graph.iter_vertices
+    (fun u ->
+      if !ok then begin
+        let du_g = Bfs.dist g u in
+        let du_h = Bfs.dist_adj h_adj u in
+        for v = 0 to Graph.n g - 1 do
+          if !ok && v <> u && du_g.(v) > 0 then begin
+            let bound = (alpha *. float_of_int du_g.(v)) +. beta in
+            if du_h.(v) < 0 || float_of_int du_h.(v) > bound +. 1e-9 then ok := false
+          end
+        done
+      end)
+    g;
+  !ok

@@ -1,0 +1,46 @@
+(** Baseline spanner constructions (Table 1 comparison rows).
+
+    Any (alpha, beta)-spanner is an (alpha, beta)-remote-spanner
+    (Section 1.2), so these classical constructions are the "general
+    graph" rows that the remote-spanner constructions are compared
+    against. They are returned as edge sets over the input graph, i.e.
+    already in remote-spanner form.
+
+    As documented in DESIGN.md, the Baswana-Kavitha-Mehlhorn-Pettie
+    (k, k-1)-spanner cited by the paper is substituted by three
+    classical baselines with the same Table-1 role: the greedy
+    (2k-1, 0)-spanner, the Baswana-Sen randomized (2k-1, 0)-spanner
+    and the Aingworth et al. additive-2 (1, 2)-spanner. *)
+
+open Rs_graph
+
+val full : Graph.t -> Edge_set.t
+(** The whole topology: what plain link-state routing advertises. *)
+
+val bfs_tree : Graph.t -> root:int -> Edge_set.t
+(** Shortest-path tree from one root (plus one tree per extra
+    component): n-1 edges, unbounded multiplicative stretch — the
+    cheap extreme of the trade-off. *)
+
+val greedy_spanner : Graph.t -> k:int -> Edge_set.t
+(** Althöfer et al.: scan edges (canonical order), keep an edge iff
+    the kept sub-graph has distance > 2k-1 between its endpoints.
+    A (2k-1, 0)-spanner with at most n^(1+1/k) + n edges (girth
+    argument). O(m * (n + m)) worst case. *)
+
+val baswana_sen : Rand.t -> Graph.t -> k:int -> Edge_set.t
+(** Baswana-Sen randomized clustering (2k-1, 0)-spanner,
+    O(k n^(1+1/k)) expected edges. Unweighted specialization: k-1
+    rounds of cluster sampling with probability n^(-1/k), then full
+    inter-cluster stitching. *)
+
+val additive2 : Graph.t -> Edge_set.t
+(** Aingworth-Chekuri-Indyk-Motwani (1, 2)-spanner with
+    O(n^(3/2) log n)-ish edges: keep all edges of low-degree
+    (< sqrt n) vertices; greedily dominate high-degree vertices and
+    add a full BFS tree from each dominator. *)
+
+val is_spanner : Graph.t -> Edge_set.t -> alpha:float -> beta:float -> bool
+(** Plain (not remote) spanner check: [d_H(u,v) <= alpha d_G(u,v) +
+    beta] for all pairs (per-edge check suffices for alpha >= 1,
+    beta >= 0, but the full pairwise check is cheap enough here). *)

@@ -1,0 +1,145 @@
+open Rs_graph
+module Setcover = Rs_setcover.Setcover
+
+let is_dominating g ~r ~beta t =
+  let u = Tree.root t in
+  Tree.edges_in g t
+  && begin
+       let dist = Bfs.dist ~radius:r g u in
+       let ok = ref true in
+       Graph.iter_vertices
+         (fun v ->
+           let r' = dist.(v) in
+           if r' >= 2 && r' <= r then begin
+             let dominated =
+               Array.exists
+                 (fun x -> Tree.mem t x && Tree.depth t x <= r' - 1 + beta)
+                 (Graph.neighbors g v)
+             in
+             if not dominated then ok := false
+           end)
+         g;
+       !ok
+     end
+
+(* Sphere/annulus covering instance for one layer: elements are the
+   sphere nodes, sets are the balls B(x, 1) for annulus candidates x.
+   [B(x,1)] includes x itself, which matters when beta >= 1 and x lies
+   on the sphere. *)
+let layer_cover g dist r' beta =
+  let sphere = ref [] and annulus = ref [] in
+  Graph.iter_vertices
+    (fun v ->
+      if dist.(v) = r' then sphere := v :: !sphere;
+      if dist.(v) >= r' - 1 && dist.(v) <= r' - 1 + beta then annulus := v :: !annulus)
+    g;
+  let sphere = Array.of_list (List.rev !sphere) in
+  let annulus = Array.of_list (List.rev !annulus) in
+  let elt_of = Hashtbl.create (Array.length sphere) in
+  Array.iteri (fun i v -> Hashtbl.replace elt_of v i) sphere;
+  let ball_of x =
+    let acc = ref [] in
+    (match Hashtbl.find_opt elt_of x with Some i -> acc := [ i ] | None -> ());
+    Array.iter
+      (fun w -> match Hashtbl.find_opt elt_of w with Some i -> acc := i :: !acc | None -> ())
+      (Graph.neighbors g x);
+    Array.of_list !acc
+  in
+  let sets = Array.map ball_of annulus in
+  (sphere, annulus, { Setcover.universe = Array.length sphere; sets })
+
+let gdy g ~r ~beta u =
+  if r < 1 || beta < 0 then invalid_arg "Dom_tree.gdy: need r >= 1, beta >= 0";
+  let dist = Bfs.dist ~radius:(r + beta) g u in
+  let bfs_parent = Bfs.parents ~radius:(r + beta) g u in
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  for r' = 2 to r do
+    let sphere, annulus, inst = layer_cover g dist r' beta in
+    (* greedy cover, grafting the shortest path per chosen annulus node *)
+    let alive = Array.make (Array.length sphere) true in
+    let remaining = ref (Array.length sphere) in
+    let used = Array.make (Array.length annulus) false in
+    let coverage s =
+      Array.fold_left (fun acc e -> if alive.(e) then acc + 1 else acc) 0 inst.Setcover.sets.(s)
+    in
+    while !remaining > 0 do
+      let best = ref (-1) and best_cov = ref 0 in
+      Array.iteri
+        (fun s _ ->
+          if not used.(s) then begin
+            let c = coverage s in
+            if c > !best_cov then begin
+              best := s;
+              best_cov := c
+            end
+          end)
+        annulus;
+      (* The paper argues a positive-coverage candidate always exists
+         while S is non-empty (the neighbor of an undominated sphere
+         node on a shortest path qualifies). *)
+      assert (!best >= 0);
+      used.(!best) <- true;
+      Tree.graft_parents t bfs_parent annulus.(!best);
+      Array.iter
+        (fun e ->
+          if alive.(e) then begin
+            alive.(e) <- false;
+            decr remaining
+          end)
+        inst.Setcover.sets.(!best)
+    done
+  done;
+  t
+
+let mis g ~r u =
+  if r < 1 then invalid_arg "Dom_tree.mis: need r >= 1";
+  let dist = Bfs.dist ~radius:r g u in
+  let bfs_parent = Bfs.parents ~radius:r g u in
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  (* B = B(u, r) \ B(u, 1), processed by increasing (distance, id). *)
+  let b = ref [] in
+  Graph.iter_vertices (fun v -> if dist.(v) >= 2 && dist.(v) <= r then b := v :: !b) g;
+  let order = Array.of_list !b in
+  Array.sort (fun a b -> compare (dist.(a), a) (dist.(b), b)) order;
+  let alive = Array.make (Graph.n g) false in
+  Array.iter (fun v -> alive.(v) <- true) order;
+  Array.iter
+    (fun x ->
+      if alive.(x) then begin
+        Tree.graft_parents t bfs_parent x;
+        alive.(x) <- false;
+        Array.iter (fun w -> alive.(w) <- false) (Graph.neighbors g x)
+      end)
+    order;
+  t
+
+let optimal_size_star ?limit g u =
+  let dist = Bfs.dist ~radius:2 g u in
+  let _, _, inst = layer_cover g dist 2 0 in
+  if inst.Setcover.universe = 0 then Some 0
+  else
+    Option.map List.length (Setcover.exact ?limit inst ~k:1)
+
+let optimal_lower_bound ?limit g ~r ~beta u =
+  let dist = Bfs.dist ~radius:(r + beta) g u in
+  let exception Blowup in
+  try
+    let per_layer = ref [] in
+    for r' = 2 to r do
+      let _, _, inst = layer_cover g dist r' beta in
+      if inst.Setcover.universe > 0 then
+        match Setcover.exact ?limit inst ~k:1 with
+        | Some cover -> per_layer := (r', List.length cover) :: !per_layer
+        | None -> raise Blowup
+    done;
+    let depth_bound =
+      List.fold_left
+        (fun acc (r', c) -> max acc (r' - 1 + ((c - 1 + beta) / (1 + beta))))
+        0 !per_layer
+    in
+    let sum_bound =
+      let s = List.fold_left (fun acc (_, c) -> acc + c) 0 !per_layer in
+      (s + beta) / (1 + beta)
+    in
+    Some (max depth_bound sum_bound)
+  with Blowup -> None

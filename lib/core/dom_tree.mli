@@ -1,0 +1,53 @@
+(** (r, beta)-dominating trees (paper, Section 1.1 and 2.2).
+
+    Given a node [u], an (r, beta)-dominating tree T for [u] is a tree
+    sub-graph rooted at [u] such that every node [v] at distance [r']
+    from [u], for [2 <= r' <= r], has a neighbor [x] in [V(T)] with
+    [d_T(u, x) <= r' - 1 + beta]. Unions of such trees over all roots
+    are exactly the low-stretch remote-spanners (Proposition 1).
+
+    Two constructions from the paper:
+    - {!gdy}: Algorithm 1 (DomTreeGdy), a layered greedy set cover —
+      edges within a factor [(1+beta)(r+beta-1)(1+log Delta)] of the
+      optimal dominating tree (Proposition 2);
+    - {!mis}: Algorithm 2 (DomTreeMIS), greedy maximal independent set
+      by increasing distance — [O(r^(p+1))] edges on unit ball graphs
+      of doubling dimension [p] (Proposition 3); only for [beta = 1]. *)
+
+open Rs_graph
+
+val is_dominating : Graph.t -> r:int -> beta:int -> Tree.t -> bool
+(** Literal check of the definition above, plus that the tree's edges
+    belong to the graph and its root paths are genuine. *)
+
+val gdy : Graph.t -> r:int -> beta:int -> int -> Tree.t
+(** [gdy g ~r ~beta u]: Algorithm 1. For each layer [r' = 2..r] it
+    covers the sphere S = {v : d(u,v) = r'} greedily with balls
+    [B(x,1)] for x in the annulus [r'-1 <= d(u,x) <= r'-1+beta],
+    grafting a shortest path u..x per pick. Ties broken by smallest
+    vertex id (deterministic). Requires [r >= 1], [beta >= 0]. *)
+
+val mis : Graph.t -> r:int -> int -> Tree.t
+(** [mis g ~r u]: Algorithm 2 (beta fixed to 1). Greedily selects a
+    maximal independent set of [B(u,r) \ B(u,1)] by increasing
+    distance from [u] (ties by id) and grafts shortest paths. *)
+
+val optimal_size_star : ?limit:int -> Graph.t -> int -> int option
+(** Exact minimum edge count of a (2, 0)-dominating tree for [u].
+    For r = 2, beta = 0 such a tree is a star of common neighbors, so
+    the optimum is exactly a minimum set cover of the 2-sphere by
+    neighbor balls — solved exactly by branch and bound ([limit] caps
+    search nodes). This is the case where Proposition 2's ratio
+    specializes to [1 + log Delta]; experiment E11 measures the real
+    ratio against this optimum. *)
+
+val optimal_lower_bound : ?limit:int -> Graph.t -> r:int -> beta:int -> int -> int option
+(** Lower bound on the edges of any (r, beta)-dominating tree for [u].
+    Any such tree must contain, for each layer [r'], enough annulus
+    vertices to dominate the [r']-sphere (a node at depth d of the tree
+    costs d path edges shared with at most 1+beta layers). The bound
+    combines per-layer exact minimum covers [c_r'] as
+    [max(max_r' (r'-1 + ceil((c_r'-1)/(1+beta))),
+         ceil(sum_r' c_r' / (1+beta)))].
+    Exact covers come from branch and bound ([limit] caps nodes; [None]
+    on blow-up). Used to report ratio upper estimates for r > 2. *)

@@ -1,0 +1,179 @@
+open Rs_graph
+
+let disjoint_branch_count g t ~beta v =
+  let u = Tree.root t in
+  let hops = Hashtbl.create 8 in
+  Array.iter
+    (fun x ->
+      if x <> u && Tree.mem t x && Tree.depth t x <= 1 + beta then
+        Hashtbl.replace hops (Tree.first_hop t x) ())
+    (Graph.neighbors g v);
+  Hashtbl.length hops
+
+let common_neighbors g u v =
+  Array.to_list (Graph.neighbors g v) |> List.filter (fun w -> Graph.mem_edge g u w)
+
+let is_k_dominating g ~k ~beta t =
+  let u = Tree.root t in
+  Tree.edges_in g t
+  && begin
+       let dist = Bfs.dist ~radius:2 g u in
+       let ok = ref true in
+       Graph.iter_vertices
+         (fun v ->
+           if dist.(v) = 2 then begin
+             let covered =
+               disjoint_branch_count g t ~beta v >= k
+               || List.for_all
+                    (fun w -> Tree.mem t w && Tree.parent t w = u)
+                    (common_neighbors g u v)
+             in
+             if not covered then ok := false
+           end)
+         g;
+       !ok
+     end
+
+(* Removal rule shared by both algorithms, instantiated with the
+   "already fully used" predicate and the disjointness requirement. *)
+
+let gdy_k g ~k u =
+  if k < 1 then invalid_arg "Dom_tree_k.gdy_k: k < 1";
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  let dist = Bfs.dist ~radius:2 g u in
+  let sphere = ref [] in
+  Graph.iter_vertices (fun v -> if dist.(v) = 2 then sphere := v :: !sphere) g;
+  let in_m = Array.make (Graph.n g) false in
+  let alive = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace alive v ()) !sphere;
+  let covered_enough v =
+    let common = common_neighbors g u v in
+    List.for_all (fun w -> in_m.(w)) common
+    || List.length (List.filter (fun w -> in_m.(w)) common) >= k
+  in
+  while Hashtbl.length alive > 0 do
+    (* pick x in N(u) \ M maximizing |N(x) ∩ S|, smallest id on ties *)
+    let best = ref (-1) and best_cov = ref 0 in
+    Array.iter
+      (fun x ->
+        if not in_m.(x) then begin
+          let c =
+            Array.fold_left
+              (fun acc w -> if Hashtbl.mem alive w then acc + 1 else acc)
+              0 (Graph.neighbors g x)
+          in
+          if c > !best_cov then begin
+            best := x;
+            best_cov := c
+          end
+        end)
+      (Graph.neighbors g u);
+    assert (!best >= 0);
+    in_m.(!best) <- true;
+    Tree.add_edge t ~parent:u ~child:!best;
+    Hashtbl.iter
+      (fun v () -> if covered_enough v then Hashtbl.remove alive v)
+      (Hashtbl.copy alive)
+  done;
+  t
+
+let mis_k g ~k u =
+  if k < 1 then invalid_arg "Dom_tree_k.mis_k: k < 1";
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  let dist = Bfs.dist ~radius:2 g u in
+  let sphere = ref [] in
+  Graph.iter_vertices (fun v -> if dist.(v) = 2 then sphere := v :: !sphere) g;
+  let s = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace s v ()) (List.rev !sphere);
+  let dominated v =
+    common_neighbors g u v |> List.for_all (fun w -> Tree.mem t w)
+    || disjoint_branch_count g t ~beta:1 v >= k
+  in
+  let prune () =
+    Hashtbl.iter (fun v () -> if dominated v then Hashtbl.remove s v) (Hashtbl.copy s)
+  in
+  for _round = 1 to k do
+    let x_set = Hashtbl.copy s in
+    let continue = ref true in
+    while !continue && Hashtbl.length x_set > 0 && Hashtbl.length s > 0 do
+      (* pick the smallest-id x in S ∩ X *)
+      let x =
+        Hashtbl.fold
+          (fun v () acc -> if Hashtbl.mem s v && (acc < 0 || v < acc) then v else acc)
+          x_set (-1)
+      in
+      if x < 0 then continue := false
+      else begin
+        let fresh =
+          common_neighbors g u x |> List.filter (fun y -> not (Tree.mem t y))
+        in
+        (* The paper's invariant: a picked x always has a fresh common
+           neighbor, else the first removal rule would have pruned it. *)
+        assert (fresh <> []);
+        let chosen = List.filteri (fun i _ -> i < k) fresh in
+        (match chosen with
+        | y1 :: rest ->
+            Tree.add_edge t ~parent:u ~child:y1;
+            if not (Tree.mem t x) then Tree.add_edge t ~parent:y1 ~child:x;
+            List.iter (fun y -> Tree.add_edge t ~parent:u ~child:y) rest
+        | [] -> assert false);
+        prune ();
+        (* X := X \ B_G(x, 1) *)
+        Hashtbl.remove x_set x;
+        Array.iter (fun w -> Hashtbl.remove x_set w) (Graph.neighbors g x)
+      end
+    done
+  done;
+  (* By Proposition 7 the loop empties S; keep a defensive check so a
+     violated invariant fails loudly in tests rather than silently. *)
+  assert (Hashtbl.length s = 0);
+  t
+
+let extract_k21 g h ~k u =
+  if k < 1 then invalid_arg "Dom_tree_k.extract_k21: k < 1";
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  let dist = Bfs.dist ~radius:2 g u in
+  let s = Hashtbl.create 64 in
+  Graph.iter_vertices (fun v -> if dist.(v) = 2 then Hashtbl.replace s v ()) g;
+  let h_relays_of x =
+    (* common neighbors of u and x reachable as H-relays: u-y in H *)
+    common_neighbors g u x |> List.filter (fun y -> Edge_set.mem h u y)
+  in
+  let dominated v =
+    common_neighbors g u v
+    |> List.for_all (fun w -> Tree.mem t w && Tree.parent t w = u)
+    || disjoint_branch_count g t ~beta:1 v >= k
+  in
+  let prune () =
+    Hashtbl.iter (fun v () -> if dominated v then Hashtbl.remove s v) (Hashtbl.copy s)
+  in
+  prune ();
+  for _round = 1 to k do
+    let x_set = Hashtbl.copy s in
+    let continue = ref true in
+    while !continue && Hashtbl.length x_set > 0 && Hashtbl.length s > 0 do
+      let x =
+        Hashtbl.fold
+          (fun v () acc -> if Hashtbl.mem s v && (acc < 0 || v < acc) then v else acc)
+          x_set (-1)
+      in
+      if x < 0 then continue := false
+      else begin
+        let fresh = h_relays_of x |> List.filter (fun y -> not (Tree.mem t y)) in
+        let connectors = List.filter (fun y -> Edge_set.mem h x y) fresh in
+        (match connectors with
+        | y1 :: _ when not (Tree.mem t x) ->
+            Tree.add_edge t ~parent:u ~child:y1;
+            Tree.add_edge t ~parent:y1 ~child:x;
+            List.filteri (fun i _ -> i < k - 1) (List.filter (( <> ) y1) fresh)
+            |> List.iter (fun y -> Tree.add_edge t ~parent:u ~child:y)
+        | _ ->
+            List.filteri (fun i _ -> i < k) fresh
+            |> List.iter (fun y -> Tree.add_edge t ~parent:u ~child:y));
+        prune ();
+        Hashtbl.remove x_set x;
+        Array.iter (fun w -> Hashtbl.remove x_set w) (Graph.neighbors g x)
+      end
+    done
+  done;
+  if Hashtbl.length s = 0 && is_k_dominating g ~k ~beta:1 t then Some t else None

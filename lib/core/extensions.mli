@@ -1,0 +1,50 @@
+(** Extensions beyond the paper's theorems (its "concluding remarks").
+
+    Two directions the paper leaves open, built and evaluated here:
+
+    {b Edge-connectivity.} The conclusion suggests the results "seem
+    possible to extend" to edge-disjoint paths. This is not automatic:
+    the union of vertex-k-connecting dominating trees is {e not} an
+    edge-k-connecting remote-spanner — {!bowtie} is a 5-node
+    counterexample (a cut vertex with edge redundancy; the depth-2
+    trees never keep the far side's second entry edge). We therefore
+    provide {!edge_repair}, a sound construction: start from any base
+    sub-graph and add, for every violating pair, the edges of a
+    minimum-length edge-disjoint path system of G — one pass yields an
+    edge-k-connecting (1,0)-remote-spanner by construction. Experiment
+    E13 measures how few extra edges the repair needs.
+
+    {b Sparse k-connecting (1+eps, O(1)).} The paper asks for sparse
+    k-connecting remote-spanners with multiplicative stretch 1+eps for
+    k > 1. {!hybrid} unions the Theorem-1 MIS trees with the
+    Algorithm-5 trees; experiment E14 measures its empirical
+    k-connecting stretch (no guarantee is claimed). *)
+
+open Rs_graph
+
+val bowtie : unit -> Graph.t
+(** Two triangles sharing a vertex: vertices 0-1-2 and 2-3-4. The
+    pair (0, 4) has one internally vertex-disjoint path but two
+    edge-disjoint ones (d^2_edge = 6); every vertex-based construction
+    in this library drops edge 3-4 (and 0-1), losing the second
+    edge-disjoint path. *)
+
+val edge_repair : Graph.t -> k:int -> base:Edge_set.t -> Edge_set.t * int
+(** [edge_repair g ~k ~base] returns [(h, added)] where [h] extends
+    [base] into an edge-k-connecting (1,0)-remote-spanner and [added]
+    counts the extra edges. For every ordered pair (s,t) violating the
+    edge-k-connecting (1,0) stretch it inserts the edges of minimum
+    total-length systems of [k'] edge-disjoint s-t paths of G (for
+    each feasible [k' <= k]), which pins [d^k'_{H_s}(s,t)] to
+    [d^k'_G(s,t)] permanently; edges only ever get added, so a single
+    pass suffices. Worst case O(n^2) flow computations. *)
+
+val edge_two_connecting : Graph.t -> Edge_set.t
+(** [edge_repair ~k:2] seeded with {!Remote_spanner.two_connecting}:
+    the edge-connectivity analogue of Theorem 3's construction. *)
+
+val hybrid : Graph.t -> eps:float -> k:int -> Edge_set.t
+(** Union of {!Remote_spanner.low_stretch}[ ~eps] and
+    {!Remote_spanner.k_connecting_mis}[ ~k] — the candidate explored
+    for the open problem. Linear size on doubling UBGs (both parts
+    are); its k-connecting stretch is measured, not proved. *)

@@ -1,0 +1,75 @@
+open Rs_graph
+module Setcover = Rs_setcover.Setcover
+
+(* ordered distance-2 pairs, indexed *)
+let distance2_pairs g =
+  let acc = ref [] in
+  Graph.iter_vertices
+    (fun u ->
+      let d = Bfs.dist ~radius:2 g u in
+      Graph.iter_vertices (fun v -> if d.(v) = 2 then acc := (u, v) :: !acc) g)
+    g;
+  List.rev !acc
+
+let exact_k_rs ?limit g ~k =
+  if k < 1 then invalid_arg "Optimal.exact_k_rs: k < 1";
+  let pairs = distance2_pairs g in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i pr -> Hashtbl.replace index pr i) pairs;
+  (* set e (an undirected edge {a,b}) covers pair (u,v) iff one of its
+     endpoints is u and the other is a common neighbor of u and v *)
+  let covers a b =
+    (* pairs (a, v) with v in N(b) at distance 2 from a, and (b, v)
+       with v in N(a) at distance 2 from b *)
+    let acc = ref [] in
+    let dir u x =
+      Array.iter
+        (fun v ->
+          match Hashtbl.find_opt index (u, v) with
+          | Some i -> acc := i :: !acc
+          | None -> ())
+        (Graph.neighbors g x)
+    in
+    dir a b;
+    dir b a;
+    !acc
+  in
+  let sets =
+    Array.init (Graph.m g) (fun id ->
+        let a, b = Graph.edge g id in
+        Array.of_list (covers a b))
+  in
+  let inst = { Setcover.universe = List.length pairs; sets } in
+  match Setcover.exact ?limit inst ~k with
+  | None -> None
+  | Some picks ->
+      let h = Edge_set.create g in
+      List.iter (fun id -> Edge_set.add_id h id) picks;
+      assert (Verify.induces_k20_trees g h ~k);
+      Some h
+
+let lower_bound_trivial g ~k =
+  let sum = ref 0 in
+  Graph.iter_vertices
+    (fun u ->
+      let d = Bfs.dist ~radius:2 g u in
+      let sphere = ref [] in
+      Graph.iter_vertices (fun v -> if d.(v) = 2 then sphere := v :: !sphere) g;
+      if !sphere <> [] then begin
+        let sphere = Array.of_list (List.rev !sphere) in
+        let idx = Hashtbl.create 8 in
+        Array.iteri (fun i v -> Hashtbl.replace idx v i) sphere;
+        let sets =
+          Array.map
+            (fun x ->
+              Array.to_list (Graph.neighbors g x)
+              |> List.filter_map (Hashtbl.find_opt idx)
+              |> Array.of_list)
+            (Graph.neighbors g u)
+        in
+        match Setcover.exact { Setcover.universe = Array.length sphere; sets } ~k with
+        | Some opt -> sum := !sum + List.length opt
+        | None -> ()
+      end)
+    g;
+  (!sum + 1) / 2

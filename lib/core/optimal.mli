@@ -1,0 +1,29 @@
+(** Globally optimal k-connecting (1,0)-remote-spanners (small graphs).
+
+    Proposition 5 characterizes k-connecting (1,0)-remote-spanners
+    pointwise: H qualifies iff for every ordered pair (u, v) at
+    distance 2, at least [min k c] of the [c] common neighbors [x] of
+    u and v have [ux] in H. Selecting the minimum number of edges
+    subject to these constraints is therefore an exact multicover
+    problem whose "sets" are the graph's edges — each edge [ux] covers
+    every ordered pair (u, v) with [v] in [N(x)] at distance 2 from
+    [u], and symmetrically (x, w) pairs through [u].
+
+    This module solves that problem exactly (branch and bound), giving
+    the true optimum that Theorem 2's [2(1 + log Delta)] approximation
+    factor is measured against in experiment E17. Exponential in m:
+    intended for graphs with at most ~25 edges' worth of branching. *)
+
+open Rs_graph
+
+val exact_k_rs : ?limit:int -> Graph.t -> k:int -> Edge_set.t option
+(** [exact_k_rs g ~k]: a minimum-size k-connecting
+    (1,0)-remote-spanner of [g], or [None] if the search exceeded
+    [limit] branch-and-bound nodes (default 10 million). The result is
+    validated against {!Verify.induces_k20_trees} before being
+    returned (assertion). *)
+
+val lower_bound_trivial : Graph.t -> k:int -> int
+(** Half the sum over nodes of their exact minimum multicover sizes
+    (the E2 bound) — always <= the true optimum; exposed so tests can
+    assert the ordering [trivial <= exact <= constructed]. *)

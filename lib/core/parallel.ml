@@ -1,0 +1,79 @@
+open Rs_graph
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let union_trees ?domains g tree_of =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let n = Graph.n g in
+  if domains = 1 || n < 64 then begin
+    let acc = Edge_set.create g in
+    for u = 0 to n - 1 do
+      Tree.add_to acc (tree_of u)
+    done;
+    acc
+  end
+  else begin
+    let block = (n + domains - 1) / domains in
+    let work lo hi () =
+      let acc = Edge_set.create g in
+      for u = lo to hi do
+        Tree.add_to acc (tree_of u)
+      done;
+      acc
+    in
+    let handles =
+      List.init domains (fun d ->
+          let lo = d * block and hi = min (n - 1) (((d + 1) * block) - 1) in
+          if lo > hi then None else Some (Domain.spawn (work lo hi)))
+    in
+    let result = Edge_set.create g in
+    List.iter
+      (function
+        | None -> ()
+        | Some handle -> Edge_set.union_into result (Domain.join handle))
+      handles;
+    result
+  end
+
+let exact_distance ?domains g = union_trees ?domains g (Dom_tree_k.gdy_k g ~k:1)
+
+let low_stretch ?domains g ~eps =
+  union_trees ?domains g (Dom_tree.mis g ~r:(Remote_spanner.r_of_eps eps))
+
+let k_connecting ?domains g ~k = union_trees ?domains g (Dom_tree_k.gdy_k g ~k)
+
+let two_connecting ?domains g = union_trees ?domains g (Dom_tree_k.mis_k g ~k:2)
+
+let is_remote_spanner ?domains g h ~alpha ~beta =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let n = Graph.n g in
+  let h_adj = Edge_set.to_adjacency h in
+  let check_range lo hi () =
+    let ok = ref true in
+    let u = ref lo in
+    while !ok && !u <= hi do
+      let du_g = Bfs.dist g !u in
+      let du_h = Bfs.augmented_dist g h_adj !u in
+      for v = 0 to n - 1 do
+        if v <> !u && du_g.(v) > 1 then begin
+          let bound = (alpha *. float_of_int du_g.(v)) +. beta in
+          if du_h.(v) < 0 || float_of_int du_h.(v) > bound +. 1e-9 then ok := false
+        end
+      done;
+      incr u
+    done;
+    !ok
+  in
+  if domains = 1 || n < 64 then check_range 0 (n - 1) ()
+  else begin
+    let block = (n + domains - 1) / domains in
+    let handles =
+      List.init domains (fun d ->
+          let lo = d * block and hi = min (n - 1) (((d + 1) * block) - 1) in
+          if lo > hi then None else Some (Domain.spawn (check_range lo hi)))
+    in
+    List.fold_left
+      (fun acc handle ->
+        match handle with None -> acc | Some h -> Domain.join h && acc)
+      true handles
+  end

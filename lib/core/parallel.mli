@@ -1,0 +1,36 @@
+(** Multicore construction of remote-spanners (OCaml 5 domains).
+
+    Every construction in this library is a union of per-node
+    dominating trees, and each tree depends only on a constant-radius
+    neighborhood — the same locality that makes the distributed
+    algorithms constant-time makes the centralized ones embarrassingly
+    parallel. This module fans the per-node tree computations out over
+    domains and unions the results; outputs are bit-identical to the
+    sequential versions (the per-node computations are deterministic
+    and independent). *)
+
+open Rs_graph
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val union_trees : ?domains:int -> Graph.t -> (int -> Tree.t) -> Edge_set.t
+(** Parallel version of {!Remote_spanner.union_trees}: vertices are
+    split into [domains] contiguous blocks, each block's trees are
+    computed and unioned in its own domain, and the per-domain edge
+    sets are merged. [tree_of] must be safe to call concurrently on
+    distinct vertices (all constructions in this library are: they
+    only read the immutable graph). *)
+
+val exact_distance : ?domains:int -> Graph.t -> Edge_set.t
+val low_stretch : ?domains:int -> Graph.t -> eps:float -> Edge_set.t
+val k_connecting : ?domains:int -> Graph.t -> k:int -> Edge_set.t
+val two_connecting : ?domains:int -> Graph.t -> Edge_set.t
+(** Parallel counterparts of the {!Remote_spanner} entry points. *)
+
+val is_remote_spanner :
+  ?domains:int -> Graph.t -> Edge_set.t -> alpha:float -> beta:float -> bool
+(** Parallel counterpart of {!Verify.is_remote_spanner}: the per-source
+    BFS checks are independent, so sources are fanned over domains.
+    Same answer as the sequential oracle (asserted in tests); lets the
+    harness verify stretch exhaustively on graphs several times larger. *)

@@ -1,0 +1,96 @@
+open Rs_graph
+
+let bound ~r l =
+  let eps = 1.0 /. float_of_int (r - 1) in
+  ((1.0 +. eps) *. float_of_int l) +. 1.0 -. (2.0 *. eps)
+
+(* remove loops from a walk: keep the segment up to the FIRST visit of
+   any repeated vertex (cutting each cycle out shortens the walk) *)
+let simplify walk =
+  let seen = Hashtbl.create 16 in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+        if Hashtbl.mem seen v then begin
+          (* drop acc back to the previous occurrence of v *)
+          let rec unwind = function
+            | x :: tail when x <> v ->
+                Hashtbl.remove seen x;
+                unwind tail
+            | tail -> tail
+          in
+          go (unwind acc) rest
+        end
+        else begin
+          Hashtbl.replace seen v ();
+          go (v :: acc) rest
+        end
+  in
+  go [] walk
+
+let construct g h ~r u v =
+  if r < 2 then invalid_arg "Prop1_route.construct: need r >= 2";
+  let h_adj = Edge_set.to_adjacency h in
+  (* shortest H-path toward a target, read from a BFS rooted there *)
+  let h_parent_to target = Bfs.parents_adj h_adj target in
+  let rec route u v =
+    let dist_v = Bfs.dist g v in
+    let l = dist_v.(u) in
+    if l < 0 then None
+    else if l = 0 then Some [ u ]
+    else if l = 1 then Some [ u; v ]
+    else begin
+      let to_v = h_parent_to v in
+      let d_h_from_v = Bfs.dist_adj h_adj v in
+      let h_path_from x =
+        (* x .. v along H shortest paths *)
+        List.rev (Path.of_parents to_v x)
+      in
+      if l <= r then begin
+        (* base case: a dominator x of u in v's tree, one free hop away *)
+        let x = ref (-1) in
+        Array.iter
+          (fun w ->
+            if d_h_from_v.(w) >= 0 && d_h_from_v.(w) <= l
+               && (!x < 0 || d_h_from_v.(w) < d_h_from_v.(!x))
+            then x := w)
+          (Graph.neighbors g u);
+        if !x < 0 then None else Some (simplify (u :: h_path_from !x))
+      end
+      else begin
+        (* v' at distance r from v on a shortest v-u path *)
+        let dist_u = Bfs.dist g u in
+        let v' =
+          let cur = ref v in
+          for _ = 1 to r do
+            let next = ref (-1) in
+            Array.iter
+              (fun w ->
+                if dist_v.(w) = dist_v.(!cur) + 1 && dist_u.(w) = l - dist_v.(w)
+                   && !next < 0
+                then next := w)
+              (Graph.neighbors g !cur);
+            cur := !next
+          done;
+          !cur
+        in
+        if v' < 0 then None
+        else begin
+          (* dominator x of v' in v's tree: d_H(v, x) <= r *)
+          let x = ref (-1) in
+          Array.iter
+            (fun w ->
+              if d_h_from_v.(w) >= 0 && d_h_from_v.(w) <= r
+                 && (!x < 0 || d_h_from_v.(w) < d_h_from_v.(!x))
+              then x := w)
+            (Graph.neighbors g v');
+          if !x < 0 then None
+          else
+            match route u !x with
+            | None -> None
+            | Some prefix -> Some (simplify (prefix @ List.tl (h_path_from !x)))
+        end
+      end
+    end
+  in
+  route u v

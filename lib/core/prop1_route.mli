@@ -1,0 +1,34 @@
+(** Proposition 1's sufficiency proof, as an executable algorithm.
+
+    The proof that a sub-graph inducing (r,1)-dominating trees is a
+    (1+eps, 1-2eps)-remote-spanner (eps = 1/(r-1)) is constructive: it
+    splices together hops of length <= r through dominating trees.
+    This module runs that construction literally, so the tests can
+    validate the {e proof} — the route it builds must be a real walk
+    of [H_u] within the claimed bound — independently of the BFS-based
+    distance checker.
+
+    It is also the routing story: the constructed route's prefix after
+    the first hop lies entirely in H, which is why greedy link-state
+    forwarding over H realizes the same bound (Section 1). *)
+
+open Rs_graph
+
+val construct : Graph.t -> Edge_set.t -> r:int -> int -> int -> Path.t option
+(** [construct g h ~r u v] builds a simple u-v path of [H_u] following
+    the induction of Proposition 1: for [d_G(u,v) <= r] one free
+    incident hop to a dominator x of [u] with [d_H(x,v) <= d_G(u,v)],
+    otherwise a recursive step through the dominator of the node at
+    distance r from [v] on a shortest path. Loops arising from
+    concatenation are excised (only ever shortening the walk).
+
+    Returns [None] when [v] is unreachable from [u], or when [h] does
+    not induce the needed dominating trees (then H simply is not a
+    remote-spanner of that quality). For [r >= 2] and any H produced
+    by {!Remote_spanner.rem_span}[ ~r ~beta:1] or
+    {!Remote_spanner.low_stretch}, the result is always [Some] with
+    [Path.length <= (1 + 1/(r-1)) d_G(u,v) + 1 - 2/(r-1)]. *)
+
+val bound : r:int -> int -> float
+(** [bound ~r l] = [(1 + 1/(r-1)) * l + 1 - 2/(r-1)], the Proposition 1
+    guarantee for distance [l]. *)

@@ -1,0 +1,130 @@
+open Rs_graph
+module Sim = Rs_distributed.Sim
+
+let union_trees g tree_of =
+  let h = Edge_set.create g in
+  Graph.iter_vertices (fun u -> Tree.add_to h (tree_of u)) g;
+  h
+
+let r_of_eps eps =
+  if eps <= 0.0 || eps > 1.0 then invalid_arg "Remote_spanner.r_of_eps: need 0 < eps <= 1";
+  int_of_float (Float.ceil (1.0 /. eps)) + 1
+
+let rem_span g ~r ~beta = union_trees g (Dom_tree.gdy g ~r ~beta)
+
+let low_stretch g ~eps = union_trees g (Dom_tree.mis g ~r:(r_of_eps eps))
+
+let exact_distance g = union_trees g (Dom_tree_k.gdy_k g ~k:1)
+
+let k_connecting g ~k = union_trees g (Dom_tree_k.gdy_k g ~k)
+
+let k_connecting_mis g ~k = union_trees g (Dom_tree_k.mis_k g ~k)
+
+let two_connecting g = k_connecting_mis g ~k:2
+
+module Distributed = struct
+  type report = {
+    spanner : Edge_set.t;
+    collect_stats : Sim.stats;
+    flood_stats : Sim.stats;
+    rounds_total : int;
+  }
+
+  (* Rebuild each node's view as a standalone graph. Views keep
+     original vertex order, so deterministic tie-breaking matches the
+     centralized computation vertex for vertex. *)
+  let local_view view_edges =
+    let verts = Hashtbl.create 64 in
+    Array.iter
+      (fun (a, b, _) ->
+        Hashtbl.replace verts a ();
+        Hashtbl.replace verts b ())
+      view_edges;
+    let vs = Hashtbl.fold (fun v () acc -> v :: acc) verts [] in
+    let vs = Array.of_list (List.sort compare vs) in
+    let fwd = Hashtbl.create (Array.length vs) in
+    Array.iteri (fun i v -> Hashtbl.replace fwd v i) vs;
+    let edges =
+      Array.to_list view_edges
+      |> List.map (fun (a, b, _) -> (Hashtbl.find fwd a, Hashtbl.find fwd b))
+    in
+    (Graph.make ~n:(Array.length vs) edges, vs, fwd)
+
+  (* Phase 3 of Algorithm RemSpan: flood each node's tree (as an edge
+     list) [radius] hops, so every node learns the spanner edges in its
+     vicinity; we only keep its traffic statistics. *)
+  let flood_trees g trees ~radius =
+    if radius = 0 then { Sim.rounds = 0; messages = 0; payload = 0 }
+    else begin
+      let payload_of u = List.length (Tree.edges trees.(u)) in
+      let proto =
+        {
+          Sim.init =
+            (fun u ->
+              let sends =
+                Array.to_list
+                  (Array.map (fun v -> (v, (u, payload_of u, radius))) (Graph.neighbors g u))
+              in
+              ((Hashtbl.create 16 : (int, unit) Hashtbl.t), sends));
+          step =
+            (fun u seen ~inbox ->
+              let sends = ref [] in
+              List.iter
+                (fun (_, (origin, size, ttl)) ->
+                  if (not (Hashtbl.mem seen origin)) && origin <> u then begin
+                    Hashtbl.replace seen origin ();
+                    if ttl > 1 then
+                      Array.iter
+                        (fun v -> sends := (v, (origin, size, ttl - 1)) :: !sends)
+                        (Graph.neighbors g u)
+                  end)
+                inbox;
+              (seen, !sends));
+          halted = (fun _ -> true);
+          msg_size = (fun (_, size, _) -> size);
+        }
+      in
+      let _, stats = Sim.run g proto ~max_rounds:(radius + 1) in
+      stats
+    end
+
+  let run_with g ~radius tree_of_view =
+    let views, collect_stats = Sim.collect_neighborhoods g ~radius in
+    let n = Graph.n g in
+    let trees = Array.make n (Tree.create ~n ~root:0) in
+    for u = 0 to n - 1 do
+      if Graph.degree g u = 0 then trees.(u) <- Tree.create ~n ~root:u
+      else begin
+        let local, back, fwd = local_view views.(u) in
+        let t_local = tree_of_view local (Hashtbl.find fwd u) in
+        let t = Tree.create ~n ~root:u in
+        (* re-add edges shallow-first so parents always precede children *)
+        let by_depth =
+          List.sort
+            (fun (p1, _) (p2, _) ->
+              compare (Tree.depth t_local p1, p1) (Tree.depth t_local p2, p2))
+            (Tree.edges t_local)
+        in
+        List.iter (fun (p, c) -> Tree.add_edge t ~parent:back.(p) ~child:back.(c)) by_depth;
+        trees.(u) <- t
+      end
+    done;
+    let spanner = Edge_set.create g in
+    Array.iter (fun t -> Tree.add_to spanner t) trees;
+    let flood_stats = flood_trees g trees ~radius in
+    {
+      spanner;
+      collect_stats;
+      flood_stats;
+      (* one round of hello (neighbor discovery) + 2*radius flooding:
+         the paper's 2r - 1 + 2*beta with radius = r - 1 + beta. *)
+      rounds_total = 1 + collect_stats.Sim.rounds + flood_stats.Sim.rounds;
+    }
+
+  let rem_span g ~r ~beta =
+    run_with g ~radius:(r - 1 + beta) (fun local u -> Dom_tree.gdy local ~r ~beta u)
+
+  let k_connecting g ~k = run_with g ~radius:1 (fun local u -> Dom_tree_k.gdy_k local ~k u)
+
+  let two_connecting g = run_with g ~radius:2 (fun local u -> Dom_tree_k.mis_k local ~k:2 u)
+end

@@ -1,0 +1,241 @@
+open Rs_graph
+
+let outside_count h p =
+  (* 1-based index of the last edge not in H (0 when all edges are) *)
+  let edges =
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+      | [ _ ] | [] -> []
+    in
+    pairs p
+  in
+  let rec scan idx acc = function
+    | [] -> acc
+    | (a, b) :: rest -> scan (idx + 1) (if Edge_set.mem h a b then acc else idx + 1) rest
+  in
+  scan 0 0 edges
+
+let nth_vertex p i = List.nth p i
+
+let rewrite_wedge p i x =
+  (* replace vertex at position i-1 by x (the wedge u-v-w becomes u-x-w) *)
+  List.mapi (fun idx v -> if idx = i - 1 then x else v) p
+
+let lemma2_step g h ~k paths =
+  (* pick the first path lying outside by >= 2 *)
+  let rec split_at acc = function
+    | [] -> None
+    | p :: rest ->
+        if outside_count h p >= 2 then Some (List.rev acc, p, rest) else split_at (p :: acc) rest
+  in
+  match split_at [] paths with
+  | None -> None
+  | Some (before, p1, after) ->
+      let i = outside_count h p1 in
+      let u = nth_vertex p1 (i - 2) and v = nth_vertex p1 (i - 1) and w = nth_vertex p1 i in
+      if Graph.mem_edge g u w then None (* tuple was not minimal: lemma inapplicable *)
+      else if Edge_set.mem h w v then
+        (* the wedge is already fine: the outside count was limited by
+           an earlier edge... cannot happen: position i-1..i is the
+           first offending edge by definition *)
+        None
+      else begin
+        (* X = common neighbors x of u and w with wx in H *)
+        let xs =
+          Array.to_list (Graph.neighbors g w)
+          |> List.filter (fun x -> Graph.mem_edge g u x && Edge_set.mem h w x)
+        in
+        let commons =
+          Array.to_list (Graph.neighbors g w) |> List.filter (fun x -> Graph.mem_edge g u x)
+        in
+        (* dominating-tree guarantee: |xs| >= min k (all commons);
+           v is a common neighbor with wv not in H, so the escape
+           clause cannot be the active branch *)
+        if List.length xs < k && List.length xs < List.length commons then None
+        else begin
+          let occupied = Hashtbl.create 32 in
+          List.iter
+            (fun p -> List.iter (fun vtx -> Hashtbl.replace occupied vtx ()) p)
+            (before @ (p1 :: after));
+          match List.find_opt (fun x -> not (Hashtbl.mem occupied x)) xs with
+          | None -> None (* pigeonhole failed: H lacks the property *)
+          | Some x -> Some (before @ (rewrite_wedge p1 i x :: after))
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 1: the 2-connecting (2,1) case.                                *)
+
+(* candidate u-w branch paths through w's dominating tree: [u; x; w]
+   with wx in H, or [u; x; y; w] with xy, yw in H — first edge free,
+   rest in H, interiors avoiding [forbidden] *)
+let branch_candidates g h ~u ~w ~forbidden =
+  let bad z = Hashtbl.mem forbidden z in
+  let acc = ref [] in
+  Array.iter
+    (fun x ->
+      if x <> w && x <> u && not (bad x) then begin
+        if Edge_set.mem h w x then acc := [ u; x; w ] :: !acc;
+        Array.iter
+          (fun y ->
+            if y <> u && y <> w && y <> x && (not (bad y)) && Edge_set.mem h x y
+               && Edge_set.mem h y w
+            then acc := [ u; x; y; w ] :: !acc)
+          (Graph.neighbors g x)
+      end)
+    (Graph.neighbors g u);
+  !acc
+
+let path_sum (p, q) = Path.length p + Path.length q
+
+let valid_pair g (p, q) s t =
+  Path.is_valid g p && Path.is_valid g q
+  && Path.source p = s && Path.source q = s
+  && Path.target p = t && Path.target q = t
+  && Path.pairwise_disjoint [ p; q ]
+
+(* split [p] at the first occurrence of [x]: (prefix incl. x, suffix from x) *)
+let split_at_vertex p x =
+  let rec go acc = function
+    | [] -> invalid_arg "Surgery.split_at_vertex: vertex absent"
+    | v :: rest when v = x -> (List.rev (x :: acc), x :: rest)
+    | v :: rest -> go (v :: acc) rest
+  in
+  go [] p
+
+let lemma1_oriented g h (p, q) ~swapped =
+  let s = Path.source p and t = Path.target p in
+  let i = outside_count h p and j = outside_count h q in
+  if i < 2 then None
+  else begin
+    let pack (p', q') = if swapped then (q', p') else (p', q') in
+    let u = nth_vertex p (i - 2) and w = nth_vertex p i in
+    let p_prefix, _ = split_at_vertex p u in
+    let _, p_suffix = split_at_vertex p w in
+    if Graph.mem_edge g u w then
+      (* non-minimal wedge: shortcut it (sum and outside both drop) *)
+      Some (pack (p_prefix @ List.tl p_suffix, q))
+    else begin
+      (* interiors must avoid the retained parts of p (u, w excepted) *)
+      let forbidden = Hashtbl.create 16 in
+      List.iter (fun z -> if z <> u then Hashtbl.replace forbidden z ()) p_prefix;
+      List.iter (fun z -> if z <> w then Hashtbl.replace forbidden z ()) p_suffix;
+      let candidates = branch_candidates g h ~u ~w ~forbidden in
+      let q_set = Hashtbl.create 16 in
+      List.iteri (fun idx z -> Hashtbl.replace q_set z idx) q;
+      let q_hits r = List.filter (Hashtbl.mem q_set) (Path.internal r) in
+      let improvement old_sum old_ij pair =
+        valid_pair g pair s t
+        && path_sum pair <= old_sum + 1
+        &&
+        let i' = outside_count h (fst pair) and j' = outside_count h (snd pair) in
+        i' + j' < old_ij
+      in
+      let old_sum = path_sum (p, q) and old_ij = i + j in
+      (* case (b): a branch avoiding q entirely *)
+      let case_b =
+        List.find_map
+          (fun r ->
+            if q_hits r = [] then begin
+              let pair = (p_prefix @ List.tl r @ List.tl p_suffix, q) in
+              if improvement old_sum old_ij pair then Some (pack pair) else None
+            end
+            else None)
+          candidates
+      in
+      match case_b with
+      | Some res -> Some res
+      | None ->
+          (* case (c): two branches r, s_ crossing q; exchange segments
+             through q. The proof has each branch meet q exactly once
+             (by minimality); iterated pairs can stray from minimality,
+             so we try every (branch, crossing) combination and let the
+             validity check arbitrate. *)
+          let singles =
+            List.concat_map (fun r -> List.map (fun x -> (r, x)) (q_hits r)) candidates
+          in
+          let rec pairs = function
+            | [] -> None
+            | (r, x) :: rest ->
+                let found =
+                  List.find_map
+                    (fun (s_, y) ->
+                      if x = y then None
+                      else begin
+                        (* orient: x before y along q *)
+                        let (r, x), (s_, y) =
+                          if Hashtbl.find q_set x <= Hashtbl.find q_set y then
+                            ((r, x), (s_, y))
+                          else ((s_, y), (r, x))
+                        in
+                        let q_to_x, _ = split_at_vertex q x in
+                        let _, q_from_y = split_at_vertex q y in
+                        let _, r_from_x = split_at_vertex r x in
+                        let s_to_y, _ = split_at_vertex s_ y in
+                        let p' = q_to_x @ List.tl r_from_x @ List.tl p_suffix in
+                        let q' = p_prefix @ List.tl s_to_y @ List.tl q_from_y in
+                        let pair = (p', q') in
+                        if improvement old_sum old_ij pair then Some (pack pair) else None
+                      end)
+                    rest
+                in
+                (match found with Some _ as r -> r | None -> pairs rest)
+          in
+          pairs singles
+    end
+  end
+
+let lemma1_step g h (p0, q0) =
+  (* try the path with the larger outside count first, then the other *)
+  let op = outside_count h p0 and oq = outside_count h q0 in
+  let first_p = op >= oq in
+  let try_orient as_p =
+    if as_p then lemma1_oriented g h (p0, q0) ~swapped:false
+    else lemma1_oriented g h (q0, p0) ~swapped:true
+  in
+  match try_orient first_p with
+  | Some _ as r -> r
+  | None -> try_orient (not first_p)
+
+let prop4_paths g h s t =
+  if s = t || Graph.mem_edge g s t then None
+  else
+    match Disjoint_paths.min_sum_paths g ~k:2 s t with
+    | None | Some [] | Some [ _ ] -> None
+    | Some (p :: q :: _) ->
+        let l = Path.length p + Path.length q in
+        let rec iterate pair fuel =
+          if outside_count h (fst pair) <= 1 && outside_count h (snd pair) <= 1 then
+            if path_sum pair <= (2 * l) - 2 then Some pair else None
+          else if fuel = 0 then None
+          else
+            match lemma1_step g h pair with
+            | None -> None
+            | Some pair' -> iterate pair' (fuel - 1)
+        in
+        iterate (p, q) (2 * l)
+
+let theorem2_paths g h ~k s t =
+  if s = t || Graph.mem_edge g s t then None
+  else begin
+    let kconn = Disjoint_paths.max_disjoint g s t in
+    let k' = min k kconn in
+    if k' = 0 then None
+    else
+      match Disjoint_paths.min_sum_paths g ~k:k' s t with
+      | None -> None
+      | Some paths ->
+          let budget =
+            List.fold_left (fun acc p -> acc + Path.length p) 0 paths
+          in
+          let rec iterate paths fuel =
+            if fuel < 0 then None
+            else
+              match lemma2_step g h ~k paths with
+              | None ->
+                  if List.for_all (fun p -> outside_count h p <= 1) paths then Some paths
+                  else None
+              | Some paths' -> iterate paths' (fuel - 1)
+          in
+          iterate paths budget
+  end

@@ -1,0 +1,64 @@
+(** Lemma 2's path surgery, executable (the constructive heart of
+    Proposition 5 / Theorem 2).
+
+    The paper proves that a sub-graph H inducing k-connecting
+    (2,0)-dominating trees is a k-connecting (1,0)-remote-spanner by
+    surgery: start from a minimum-length tuple of k' internally
+    disjoint s-t paths of G and repeatedly rewrite the path that "lies
+    outside H" — replacing its first offending wedge u-v-w by u-x-w
+    through a common neighbor x with wx in H, guaranteed to exist and
+    to be free of the other paths — until every path lies outside H by
+    at most one edge. Every rewrite preserves the total length and
+    disjointness, so the final tuple witnesses
+    [d^k'_{H_s}(s,t) = d^k'_G(s,t)].
+
+    Running the proof gives the library a second, independent road to
+    Theorem 2 (the first being the min-cost-flow checker), and yields
+    the actual optimal path system of H_s — useful for multi-path
+    routing. *)
+
+open Rs_graph
+
+val outside_count : Edge_set.t -> Path.t -> int
+(** [outside_count h p]: the smallest [i] such that all edges of [p]
+    after its [i]-th edge belong to [h] ([0] when the whole path is in
+    [h]; [Path.length p] when even the last edge is missing). *)
+
+val lemma2_step : Graph.t -> Edge_set.t -> k:int -> Path.t list -> Path.t list option
+(** One rewrite of Lemma 2 applied to the first path of the tuple that
+    lies outside by >= 2. Returns the rewritten tuple (same length
+    sum, same pairwise disjointness, strictly smaller total outside
+    count), [None] if no path needs rewriting or if H lacks the
+    dominating-tree property the lemma relies on. *)
+
+val theorem2_paths : Graph.t -> Edge_set.t -> k:int -> int -> int -> Path.t list option
+(** [theorem2_paths g h ~k s t]: the full construction. Computes a
+    minimum-length tuple of [k'] = min(k, connectivity) disjoint s-t
+    paths of [g], then iterates {!lemma2_step} to exhaustion. On
+    success every returned path lies outside [h] by at most one edge —
+    i.e. the tuple lives in [H_s] — and its total length equals
+    [d^k'_G(s, t)]. Returns [None] when s, t are adjacent or not
+    connected, or when H does not induce the required trees. *)
+
+val lemma1_step :
+  Graph.t -> Edge_set.t -> Path.t * Path.t -> (Path.t * Path.t) option
+(** One rewrite of Lemma 1 (the 2-connecting (2,-1) case, Proposition
+    4). Given a disjoint s-t path pair with some path lying outside H
+    by [i >= 2], produces a new disjoint pair whose length sum grows
+    by at most one while the total outside count strictly decreases —
+    by splicing one or two depth-<=2 dominating-tree branches of the
+    offending wedge's endpoint, exchanging path segments with the
+    partner path when both branches land on it (the proof's two
+    cases). [None] when no path needs rewriting or no branch
+    combination yields a valid improvement (H lacks the 2-connecting
+    (2,1)-dominating-tree property, or the pair strays too far from
+    the minimal pairs the lemma's analysis assumes — callers should
+    fall back to the flow checker). *)
+
+val prop4_paths : Graph.t -> Edge_set.t -> int -> int -> (Path.t * Path.t) option
+(** [prop4_paths g h s t]: Proposition 4's construction. Starts from a
+    minimum-length disjoint s-t path pair of [g] (total [l = d^2_G])
+    and iterates {!lemma1_step}. On success both returned paths lie
+    outside [h] by at most one edge (so the pair lives in [H_s]) and
+    their total length is at most [2 l - 2] — the 2-connecting (2,-1)
+    stretch, witnessed constructively. *)

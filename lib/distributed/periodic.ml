@@ -1,0 +1,184 @@
+module Graph = Rs_graph.Graph
+module Tree = Rs_graph.Tree
+
+type event = { at : int; add : (int * int) list; remove : (int * int) list }
+
+type result = { converged_at : int option; matched : bool array; messages : int }
+
+type entry = { seq : int; nbrs : int array; heard_at : int }
+
+type msg = { origin : int; mseq : int; mnbrs : int array; ttl : int }
+
+let canonical (a, b) = if a < b then (a, b) else (b, a)
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let apply_events g events t =
+  List.fold_left
+    (fun g ev ->
+      if ev.at <> t then g
+      else begin
+        let removals = List.map canonical ev.remove in
+        let kept =
+          Graph.fold_edges
+            (fun acc a b -> if List.mem (canonical (a, b)) removals then acc else (a, b) :: acc)
+            [] g
+        in
+        Graph.make ~n:(Graph.n g) (List.rev_append ev.add kept)
+      end)
+    g events
+
+(* Build u's view graph from its cache (OR rule over advertised lists,
+   own adjacency always fresh), renumbered; returns tree edges in
+   global ids. *)
+let recompute_tree ~tree_of g cache u =
+  let lists = Hashtbl.create 16 in
+  Hashtbl.iter (fun origin e -> Hashtbl.replace lists origin e.nbrs) cache;
+  Hashtbl.replace lists u (Graph.neighbors g u);
+  let verts = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun origin nbrs ->
+      Hashtbl.replace verts origin ();
+      Array.iter (fun w -> Hashtbl.replace verts w ()) nbrs)
+    lists;
+  let vs = Array.of_list (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) verts [])) in
+  let fwd = Hashtbl.create (Array.length vs) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) vs;
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun origin nbrs ->
+      let o = Hashtbl.find fwd origin in
+      Array.iter (fun w -> edges := (o, Hashtbl.find fwd w) :: !edges) nbrs)
+    lists;
+  let local = Graph.make ~n:(Array.length vs) !edges in
+  let t_local = tree_of local (Hashtbl.find fwd u) in
+  let by_depth =
+    List.sort
+      (fun (p1, _) (p2, _) -> compare (Tree.depth t_local p1, p1) (Tree.depth t_local p2, p2))
+      (Tree.edges t_local)
+  in
+  List.map (fun (p, c) -> canonical (vs.(p), vs.(c))) by_depth
+
+let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
+  if period < 1 || radius < 1 then invalid_arg "Periodic.simulate: period, radius >= 1";
+  let n = Graph.n initial in
+  let expiry = 2 * period in
+  let caches = Array.init n (fun _ -> (Hashtbl.create 16 : (int, entry) Hashtbl.t)) in
+  let trees = Array.make n [] in
+  let dirty = Array.make n true in
+  let seqs = Array.make n 0 in
+  let inboxes = Array.make n ([] : msg list) in
+  let outboxes = Array.make n ([] : msg list) in
+  let messages = ref 0 in
+  let matched = Array.make horizon false in
+  let g = ref initial in
+  let target_cache = Hashtbl.create 4 in
+  let target g =
+    (* memoize per distinct graph (few event epochs) *)
+    let key = Graph.edges g in
+    match Hashtbl.find_opt target_cache key with
+    | Some s -> s
+    | None ->
+        let s =
+          Graph.fold_vertices
+            (fun acc u ->
+              List.fold_left
+                (fun acc e -> Pair_set.add e acc)
+                acc
+                (List.map canonical (Tree.edges (tree_of g u))))
+            Pair_set.empty g
+        in
+        Hashtbl.replace target_cache key s;
+        s
+  in
+  for t = 0 to horizon - 1 do
+    (* 1. topology events *)
+    g := apply_events !g events t;
+    let gt = !g in
+    (* neighbor-change detection is immediate for the node's own view *)
+    for u = 0 to n - 1 do
+      dirty.(u) <- true
+    done;
+    (* 2. deliver messages sent last round (edges evaluated now) *)
+    Array.iteri
+      (fun u msgs ->
+        List.iter
+          (fun m ->
+            Array.iter
+              (fun v ->
+                incr messages;
+                inboxes.(v) <- m :: inboxes.(v))
+              (Graph.neighbors gt u))
+          msgs)
+      outboxes;
+    Array.fill outboxes 0 n [];
+    (* 3. process inboxes: cache updates + forwarding *)
+    for u = 0 to n - 1 do
+      List.iter
+        (fun m ->
+          if m.origin <> u then begin
+            let fresher =
+              match Hashtbl.find_opt caches.(u) m.origin with
+              | Some e -> m.mseq > e.seq
+              | None -> true
+            in
+            if fresher then begin
+              Hashtbl.replace caches.(u) m.origin
+                { seq = m.mseq; nbrs = m.mnbrs; heard_at = t };
+              dirty.(u) <- true;
+              if m.ttl > 1 then outboxes.(u) <- { m with ttl = m.ttl - 1 } :: outboxes.(u)
+            end
+          end)
+        inboxes.(u);
+      inboxes.(u) <- []
+    done;
+    (* 4. periodic origination *)
+    for u = 0 to n - 1 do
+      if t mod period = u mod period then begin
+        seqs.(u) <- seqs.(u) + 1;
+        outboxes.(u) <-
+          { origin = u; mseq = seqs.(u); mnbrs = Graph.neighbors gt u; ttl = radius }
+          :: outboxes.(u)
+      end
+    done;
+    (* 5. soft-state expiry *)
+    for u = 0 to n - 1 do
+      let stale =
+        Hashtbl.fold
+          (fun origin e acc -> if t - e.heard_at > expiry then origin :: acc else acc)
+          caches.(u) []
+      in
+      if stale <> [] then begin
+        List.iter (Hashtbl.remove caches.(u)) stale;
+        dirty.(u) <- true
+      end
+    done;
+    (* 6. recompute dirty trees *)
+    for u = 0 to n - 1 do
+      if dirty.(u) then begin
+        trees.(u) <- recompute_tree ~tree_of gt caches.(u) u;
+        dirty.(u) <- false
+      end
+    done;
+    (* 7. observe *)
+    let union =
+      Array.fold_left
+        (fun acc es -> List.fold_left (fun acc e -> Pair_set.add e acc) acc es)
+        Pair_set.empty trees
+    in
+    matched.(t) <- Pair_set.equal union (target gt)
+  done;
+  let last_event = List.fold_left (fun acc ev -> max acc ev.at) 0 events in
+  let converged_at =
+    let rec scan best t =
+      if t < last_event then best
+      else if matched.(t) then scan (Some t) (t - 1)
+      else best
+    in
+    if horizon = 0 then None else scan None (horizon - 1)
+  in
+  { converged_at; matched; messages = !messages }

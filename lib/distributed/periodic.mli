@@ -1,0 +1,60 @@
+(** Periodic asynchronous link-state operation and stabilization.
+
+    Section 2.3 of the paper notes that Algorithm RemSpan "can be run
+    as in practical link state routing protocols by regularly
+    performing its four operations in an asynchronous fashion every
+    period of time T"; after a topology change the spanner stabilizes
+    "after a time period of T + 2F, where F is the duration of a
+    flooding up to distance r - 1 + beta".
+
+    This module simulates exactly that regime so experiment E15 can
+    measure the stabilization time:
+
+    - time advances in rounds; node [u] {e originates} a fresh
+      advertisement of its current neighbor list every [period] rounds
+      (staggered start at [u mod period]);
+    - advertisements flood with TTL [radius], one hop per round, and
+      are deduplicated by (origin, sequence number);
+    - every node caches the freshest advertisement per origin (its own
+      adjacency is always current — hello messages) and recomputes its
+      dominating tree from the cached view whenever the cache changes;
+    - cached entries expire after [2 * period] rounds without refresh
+      (soft state, as in OSPF/OLSR), which clears phantom edges left
+      by removals near the collection horizon.
+
+    The observable is the union of the nodes' {e current} trees,
+    compared each round against the centralized construction on the
+    {e current} graph. *)
+
+open Rs_graph
+
+type event = {
+  at : int;  (** round at which the change is applied *)
+  add : (int * int) list;
+  remove : (int * int) list;
+}
+
+type result = {
+  converged_at : int option;
+      (** first round >= the last event after which the union matches
+          the target in every remaining round of the horizon *)
+  matched : bool array;  (** per-round match flag, length [horizon] *)
+  messages : int;  (** total advertisement transmissions *)
+}
+
+val simulate :
+  initial:Graph.t ->
+  events:event list ->
+  period:int ->
+  radius:int ->
+  horizon:int ->
+  tree_of:(Graph.t -> int -> Tree.t) ->
+  result
+(** [simulate ~initial ~events ~period ~radius ~horizon ~tree_of] runs
+    the periodic protocol for [horizon] rounds. [tree_of] computes a
+    node's dominating tree from an arbitrary (view) graph — pass e.g.
+    [fun g u -> Rs_core.Dom_tree_k.gdy_k g ~k:1 u]... any construction
+    whose radius requirement is at most [radius]. The target each
+    round is the union of [tree_of] applied to the true current graph.
+    Events must be sorted by [at]; edges must reference valid vertices
+    (removals of absent edges are ignored). *)

@@ -1,0 +1,123 @@
+module Graph = Rs_graph.Graph
+
+type stats = { rounds : int; messages : int; payload : int }
+
+type ('state, 'msg) protocol = {
+  init : int -> 'state * (int * 'msg) list;
+  step : int -> 'state -> inbox:(int * 'msg) list -> 'state * (int * 'msg) list;
+  halted : 'state -> bool;
+  msg_size : 'msg -> int;
+}
+
+let run g proto ~max_rounds =
+  let n = Graph.n g in
+  let states = Array.make n None in
+  let outboxes = Array.make n [] in
+  let check_send u (v, _msg) =
+    if not (Graph.mem_edge g u v) then
+      invalid_arg
+        (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d" u v)
+  in
+  for u = 0 to n - 1 do
+    let st, sends = proto.init u in
+    List.iter (check_send u) sends;
+    states.(u) <- Some st;
+    outboxes.(u) <- sends
+  done;
+  let messages = ref 0 and payload = ref 0 and rounds = ref 0 in
+  let in_flight () = Array.exists (fun o -> o <> []) outboxes in
+  let all_halted () =
+    Array.for_all (function Some st -> proto.halted st | None -> true) states
+  in
+  while !rounds < max_rounds && (in_flight () || not (all_halted ())) do
+    incr rounds;
+    (* deliver *)
+    let inboxes = Array.make n [] in
+    Array.iteri
+      (fun u sends ->
+        List.iter
+          (fun (v, msg) ->
+            incr messages;
+            payload := !payload + proto.msg_size msg;
+            inboxes.(v) <- (u, msg) :: inboxes.(v))
+          sends)
+      outboxes;
+    Array.fill outboxes 0 n [];
+    (* step *)
+    for u = 0 to n - 1 do
+      match states.(u) with
+      | None -> ()
+      | Some st ->
+          if inboxes.(u) <> [] || not (proto.halted st) then begin
+            let st', sends = proto.step u st ~inbox:inboxes.(u) in
+            List.iter (check_send u) sends;
+            states.(u) <- Some st';
+            outboxes.(u) <- sends
+          end
+    done
+  done;
+  let final =
+    Array.map (function Some st -> st | None -> assert false) states
+  in
+  (final, { rounds = !rounds; messages = !messages; payload = !payload })
+
+(* Flooding collection: each node starts knowing its incident edges and
+   floods newly learned edges for [radius] rounds; an edge learned in
+   round r joins the knowledge of every node within distance r of one
+   of its endpoints. A message is a batch of edges. *)
+type collect_state = {
+  known : (int * int, int) Hashtbl.t; (* edge -> round learned *)
+  mutable round_no : int;
+  budget : int;
+}
+
+let collect_neighborhoods g ~radius =
+  if radius < 0 then invalid_arg "Sim.collect_neighborhoods: negative radius";
+  let canonical u v = if u < v then (u, v) else (v, u) in
+  let proto =
+    {
+      init =
+        (fun u ->
+          let known = Hashtbl.create 64 in
+          Array.iter (fun v -> Hashtbl.replace known (canonical u v) 0) (Graph.neighbors g u);
+          let st = { known; round_no = 0; budget = radius } in
+          let batch = Hashtbl.fold (fun e _ acc -> e :: acc) known [] in
+          let sends =
+            if radius = 0 then []
+            else Array.to_list (Array.map (fun v -> (v, batch)) (Graph.neighbors g u))
+          in
+          (st, sends));
+      step =
+        (fun u st ~inbox ->
+          st.round_no <- st.round_no + 1;
+          let fresh = ref [] in
+          List.iter
+            (fun (_, batch) ->
+              List.iter
+                (fun e ->
+                  if not (Hashtbl.mem st.known e) then begin
+                    Hashtbl.replace st.known e st.round_no;
+                    fresh := e :: !fresh
+                  end)
+                batch)
+            inbox;
+          let sends =
+            if st.round_no >= st.budget || !fresh = [] then []
+            else
+              Array.to_list
+                (Array.map (fun v -> (v, !fresh)) (Graph.neighbors g u))
+          in
+          (st, sends));
+      halted = (fun st -> st.round_no >= st.budget);
+      msg_size = List.length;
+    }
+  in
+  let states, stats = run g proto ~max_rounds:(radius + 1) in
+  let views =
+    Array.map
+      (fun st ->
+        Hashtbl.fold (fun (a, b) r acc -> (a, b, r) :: acc) st.known []
+        |> List.sort compare |> Array.of_list)
+      states
+  in
+  (views, stats)

@@ -1,0 +1,45 @@
+(** Synchronous message-passing (LOCAL-model) simulator.
+
+    The paper's algorithms are distributed: in each round every node
+    exchanges messages with its graph neighbors and updates local
+    state. "Constant time" (Theorems 1-3) means a number of rounds
+    independent of the graph — this simulator counts rounds, messages
+    and abstract payload so experiment E9 can measure exactly that.
+
+    A protocol is three callbacks over a user state type; messages are
+    addressed to neighbor vertex ids and delivered at the start of the
+    next round. The simulation stops when every node has halted or
+    [max_rounds] is reached. *)
+
+type stats = {
+  rounds : int;  (** rounds executed *)
+  messages : int;  (** total messages delivered *)
+  payload : int;  (** sum of user-defined message sizes *)
+}
+
+type ('state, 'msg) protocol = {
+  init : int -> 'state * (int * 'msg) list;
+      (** [init u] gives node [u]'s initial state and its round-1
+          sends, as (neighbor, message) pairs. *)
+  step : int -> 'state -> inbox:(int * 'msg) list -> 'state * (int * 'msg) list;
+      (** [step u st ~inbox] processes the messages delivered this
+          round ((sender, message) pairs) and emits next-round sends. *)
+  halted : 'state -> bool;
+      (** A node halts when true and it has nothing queued; halted
+          nodes still receive (their [step] keeps running if messages
+          arrive). *)
+  msg_size : 'msg -> int;  (** abstract payload size, for accounting *)
+}
+
+val run :
+  Rs_graph.Graph.t -> ('state, 'msg) protocol -> max_rounds:int -> 'state array * stats
+(** Run to quiescence (all halted and no messages in flight) or
+    [max_rounds]. Sends to non-neighbors raise [Invalid_argument] —
+    the LOCAL model only talks over edges. *)
+
+val collect_neighborhoods : Rs_graph.Graph.t -> radius:int -> (int * int * int) array array * stats
+(** The generic primitive behind Algorithm RemSpan: after [radius]
+    flooding rounds each node knows every edge incident to its ball of
+    radius [radius] — enough to rebuild [B_G(u, radius)] and run a
+    dominating-tree computation locally. Returns, per node, the known
+    edge list as (u, v, round-learned) triples, plus traffic stats. *)

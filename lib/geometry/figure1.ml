@@ -1,0 +1,42 @@
+type t = {
+  graph : Rs_graph.Graph.t;
+  points : Point.t array;
+  u : int;
+  v : int;
+  x : int;
+  x' : int;
+  y : int;
+  y' : int;
+  z : int;
+}
+
+(* ids: u=0 y=1 y'=2 x=3 x'=4 v=5 z=6 a=7 b=8 (a, b are the clique
+   companions of u and v). Radius 1. *)
+let coords =
+  [|
+    [| 0.0; 0.0 |] (* u *);
+    [| 0.8; 0.4 |] (* y *);
+    [| 0.8; -0.4 |] (* y' *);
+    [| 1.25; 0.55 |] (* x *);
+    [| 1.25; -0.55 |] (* x' *);
+    [| 1.7; 0.0 |] (* v *);
+    [| 1.0; 1.2 |] (* z *);
+    [| 0.15; 0.25 |] (* a *);
+    [| 1.55; -0.3 |] (* b *);
+  |]
+
+let instance () =
+  let graph = Unit_ball.udg coords in
+  { graph; points = coords; u = 0; v = 5; x = 3; x' = 4; y = 1; y' = 2; z = 6 }
+
+let label _ = function
+  | 0 -> "u"
+  | 1 -> "y"
+  | 2 -> "y'"
+  | 3 -> "x"
+  | 4 -> "x'"
+  | 5 -> "v"
+  | 6 -> "z"
+  | 7 -> "a"
+  | 8 -> "b"
+  | i -> string_of_int i

@@ -1,0 +1,26 @@
+(** The paper's Figure 1 instance, reconstructed as a concrete unit
+    disk graph.
+
+    The published figure is drawn, not specified; we place nine points
+    so that the resulting UDG has the properties the caption asserts:
+    [d_G(u,x) = 2], [d_G(u,v) = 2] (via the common neighbors y, y'),
+    two internally disjoint u-v path pairs u-y-x-v / u-y'-x'-v, a node
+    z adjacent to x and y only, and two local cliques (around u and
+    around v) standing in for the dashed ovals. *)
+
+type t = {
+  graph : Rs_graph.Graph.t;
+  points : Point.t array;
+  u : int;
+  v : int;
+  x : int;
+  x' : int;
+  y : int;
+  y' : int;
+  z : int;
+}
+
+val instance : unit -> t
+
+val label : t -> int -> string
+(** Pretty vertex names ("u", "y'", ...) for DOT/console output. *)

@@ -1,0 +1,40 @@
+type t = { size : int; dist : int -> int -> float }
+
+let euclidean pts = { size = Array.length pts; dist = (fun i j -> Point.l2 pts.(i) pts.(j)) }
+
+let linf pts = { size = Array.length pts; dist = (fun i j -> Point.linf pts.(i) pts.(j)) }
+
+let torus ~side pts =
+  { size = Array.length pts; dist = (fun i j -> Point.torus_l2 ~side pts.(i) pts.(j)) }
+
+let of_fun ~size dist = { size; dist }
+
+let doubling_estimate m ~sample rand =
+  if m.size = 0 then 0.0
+  else begin
+    let worst = ref 0.0 in
+    for _ = 1 to sample do
+      let c = Rs_graph.Rand.int rand m.size in
+      (* radius: distance to a random other point *)
+      let o = Rs_graph.Rand.int rand m.size in
+      let radius = m.dist c o in
+      if radius > 0.0 then begin
+        let ball = ref [] in
+        for v = 0 to m.size - 1 do
+          if m.dist c v <= radius then ball := v :: !ball
+        done;
+        (* greedy cover of the ball by balls of radius/2 *)
+        let remaining = ref !ball in
+        let covers = ref 0 in
+        while !remaining <> [] do
+          match !remaining with
+          | [] -> ()
+          | center :: _ ->
+              incr covers;
+              remaining := List.filter (fun v -> m.dist center v > radius /. 2.0) !remaining
+        done;
+        if !covers > 0 then worst := Float.max !worst (Float.log (float_of_int !covers) /. Float.log 2.0)
+      end
+    done;
+    !worst
+  end

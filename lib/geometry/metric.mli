@@ -1,0 +1,21 @@
+(** Finite metric spaces over indexed point sets.
+
+    The paper's unit ball graph (UBG) model assumes an underlying
+    metric of constant doubling dimension; the remote-spanner
+    algorithms never read it (distances are "unknown"), but the
+    experiments need it to build inputs and the known-distance baseline
+    spanner reads it explicitly. *)
+
+type t = { size : int; dist : int -> int -> float }
+
+val euclidean : Point.t array -> t
+val linf : Point.t array -> t
+val torus : side:float -> Point.t array -> t
+
+val of_fun : size:int -> (int -> int -> float) -> t
+
+val doubling_estimate : t -> sample:int -> Rs_graph.Rand.t -> float
+(** Crude empirical doubling-dimension estimate: for sampled centers
+    and radii, log2 of the number of balls of radius R/2 greedily
+    needed to cover a ball of radius R; returns the max over samples.
+    Only used to sanity-check generated inputs. *)

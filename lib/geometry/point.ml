@@ -1,0 +1,49 @@
+type t = float array
+
+let dim = Array.length
+
+let check a b =
+  if Array.length a <> Array.length b then invalid_arg "Point: dimension mismatch"
+
+let l2 a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let linf a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := Float.max !acc (Float.abs (a.(i) -. b.(i)))
+  done;
+  !acc
+
+let l1 a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Float.abs (a.(i) -. b.(i))
+  done;
+  !acc
+
+let torus_l2 ~side a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = Float.abs (a.(i) -. b.(i)) in
+    let d = Float.rem d side in
+    let d = Float.min d (side -. d) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let pp fmt p =
+  Format.fprintf fmt "(@[<h>%a@])"
+    (Format.pp_print_array
+       ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+       (fun f x -> Format.fprintf f "%.3f" x))
+    p

@@ -1,0 +1,19 @@
+(** Points in R^d as float arrays. *)
+
+type t = float array
+
+val dim : t -> int
+
+val l2 : t -> t -> float
+(** Euclidean distance. Dimensions must agree. *)
+
+val linf : t -> t -> float
+(** Chebyshev distance. *)
+
+val l1 : t -> t -> float
+
+val torus_l2 : side:float -> t -> t -> float
+(** Euclidean distance on the d-torus of the given side (coordinates
+    taken modulo [side], shortest wrap per axis). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+let to_string pts =
+  let dim = if Array.length pts = 0 then 0 else Array.length pts.(0) in
+  let buf = Buffer.create (32 * Array.length pts) in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Array.length pts) dim);
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then invalid_arg "Point_io.to_string: ragged dimensions";
+      Buffer.add_string buf
+        (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.17g") p)));
+      Buffer.add_char buf '\n')
+    pts;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> failwith "Point_io.of_string: empty input"
+  | header :: rest -> (
+      let fields l = String.split_on_char ' ' l |> List.filter (( <> ) "") in
+      match fields header with
+      | [ a; b ] -> (
+          let n, dim =
+            try (int_of_string a, int_of_string b)
+            with _ -> failwith "Point_io.of_string: bad header"
+          in
+          let parse l =
+            let cs = fields l in
+            if List.length cs <> dim then failwith "Point_io.of_string: bad row width";
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   try float_of_string c
+                   with _ -> failwith "Point_io.of_string: bad coordinate")
+                 cs)
+          in
+          let pts = List.map parse rest in
+          if List.length pts <> n then failwith "Point_io.of_string: row count mismatch";
+          Array.of_list pts)
+      | _ -> failwith "Point_io.of_string: bad header")
+
+let save path pts =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string pts))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

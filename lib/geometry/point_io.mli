@@ -1,0 +1,12 @@
+(** Plain-text serialization of point sets.
+
+    Format: first line "n dim", then one whitespace-separated
+    coordinate row per point. '#' lines are comments. Companion to
+    {!Rs_graph.Graph_io} so the CLI can persist geometric inputs. *)
+
+val to_string : Point.t array -> string
+val of_string : string -> Point.t array
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> Point.t array -> unit
+val load : string -> Point.t array

@@ -1,0 +1,77 @@
+module Graph = Rs_graph.Graph
+module Edge_set = Rs_graph.Edge_set
+
+let render ?(width = 72) ?(height = 28) ?spanner ?labels pts g =
+  if Array.length pts <> Graph.n g then invalid_arg "Render.render: size mismatch";
+  Array.iter
+    (fun p -> if Array.length p <> 2 then invalid_arg "Render.render: need 2-D points")
+    pts;
+  if width < 2 || height < 2 then invalid_arg "Render.render: canvas too small";
+  let grid = Array.make_matrix height width ' ' in
+  if Array.length pts = 0 then String.concat "\n" (List.init height (fun _ -> ""))
+  else begin
+    let min_of f = Array.fold_left (fun acc p -> Float.min acc (f p)) infinity pts in
+    let max_of f = Array.fold_left (fun acc p -> Float.max acc (f p)) neg_infinity pts in
+    let x0 = min_of (fun p -> p.(0)) and x1 = max_of (fun p -> p.(0)) in
+    let y0 = min_of (fun p -> p.(1)) and y1 = max_of (fun p -> p.(1)) in
+    let sx = if x1 > x0 then float_of_int (width - 1) /. (x1 -. x0) else 0.0 in
+    let sy = if y1 > y0 then float_of_int (height - 1) /. (y1 -. y0) else 0.0 in
+    let cell p =
+      let cx = int_of_float (Float.round ((p.(0) -. x0) *. sx)) in
+      (* screen y grows downward *)
+      let cy = height - 1 - int_of_float (Float.round ((p.(1) -. y0) *. sy)) in
+      (max 0 (min (width - 1) cx), max 0 (min (height - 1) cy))
+    in
+    let plot (x, y) ch =
+      (* vertices override edges; '#' overrides '.' *)
+      match (grid.(y).(x), ch) with
+      | ' ', _ -> grid.(y).(x) <- ch
+      | '.', '#' -> grid.(y).(x) <- ch
+      | ('.' | '#'), c when c <> '.' && c <> '#' -> grid.(y).(x) <- c
+      | _ -> ()
+    in
+    let line (x0, y0) (x1, y1) ch =
+      (* Bresenham *)
+      let dx = abs (x1 - x0) and dy = -abs (y1 - y0) in
+      let sx = if x0 < x1 then 1 else -1 and sy = if y0 < y1 then 1 else -1 in
+      let err = ref (dx + dy) in
+      let x = ref x0 and y = ref y0 in
+      let continue = ref true in
+      while !continue do
+        plot (!x, !y) ch;
+        if !x = x1 && !y = y1 then continue := false
+        else begin
+          let e2 = 2 * !err in
+          if e2 >= dy then begin
+            err := !err + dy;
+            x := !x + sx
+          end;
+          if e2 <= dx then begin
+            err := !err + dx;
+            y := !y + sy
+          end
+        end
+      done
+    in
+    (* plain edges first, then spanner edges, then vertices on top *)
+    Graph.iter_edges
+      (fun u v ->
+        let hot = match spanner with Some h -> Edge_set.mem h u v | None -> false in
+        if not hot then line (cell pts.(u)) (cell pts.(v)) '.')
+      g;
+    (match spanner with
+    | Some h -> Edge_set.iter (fun u v -> line (cell pts.(u)) (cell pts.(v)) '#') h
+    | None -> ());
+    Array.iteri
+      (fun i p ->
+        let ch =
+          match labels with
+          | Some f -> f i
+          | None -> Char.chr (Char.code '0' + (i mod 10))
+        in
+        let x, y = cell p in
+        grid.(y).(x) <- ch)
+      pts;
+    String.concat "\n"
+      (Array.to_list (Array.map (fun row -> String.init width (Array.get row)) grid))
+  end

@@ -1,0 +1,21 @@
+(** ASCII rendering of planar geometric graphs.
+
+    Draws 2-D point sets and their graphs on a character grid —
+    vertices as ids (mod 10 or '*'), edges as Bresenham line segments
+    — with spanner edges drawn in a distinct glyph. Meant for terminal
+    demos and quick eyeballing of unit disk inputs; not a plotting
+    library. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?spanner:Rs_graph.Edge_set.t ->
+  ?labels:(int -> char) ->
+  Point.t array ->
+  Rs_graph.Graph.t ->
+  string
+(** [render pts g] draws [g] using the 2-D coordinates [pts] scaled
+    into [width] x [height] characters (default 72 x 28). Edges in
+    [spanner] are drawn with '#', other edges with '.'; vertices with
+    [labels] (default: last digit of the id). Raises
+    [Invalid_argument] on non-2-D points or size mismatch. *)

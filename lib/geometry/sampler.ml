@@ -1,0 +1,16 @@
+module Rand = Rs_graph.Rand
+
+let uniform rand ~n ~dim ~side =
+  Array.init n (fun _ -> Array.init dim (fun _ -> Rand.float rand side))
+
+let poisson_square rand ~intensity ~side =
+  let n = Rand.poisson rand (intensity *. side *. side) in
+  uniform rand ~n ~dim:2 ~side
+
+let grid_jitter rand ~per_side ~spacing ~jitter =
+  Array.init (per_side * per_side) (fun i ->
+      let r = i / per_side and c = i mod per_side in
+      [|
+        (float_of_int c *. spacing) +. Rand.float rand (2.0 *. jitter) -. jitter;
+        (float_of_int r *. spacing) +. Rand.float rand (2.0 *. jitter) -. jitter;
+      |])

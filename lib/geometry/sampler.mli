@@ -1,0 +1,16 @@
+(** Random point processes for the paper's input models. *)
+
+val uniform : Rs_graph.Rand.t -> n:int -> dim:int -> side:float -> Point.t array
+(** [n] i.i.d. uniform points in the cube [\[0, side\]^dim]. *)
+
+val poisson_square : Rs_graph.Rand.t -> intensity:float -> side:float -> Point.t array
+(** Uniform Poisson process of the given intensity on
+    [\[0, side\]^2] — the paper's random unit disk model (§3.2): the
+    number of points is Poisson(intensity * side^2), positions are
+    uniform. *)
+
+val grid_jitter : Rs_graph.Rand.t -> per_side:int -> spacing:float -> jitter:float -> Point.t array
+(** [per_side^2] points on a 2-D grid with the given spacing, each
+    perturbed uniformly in [\[-jitter, jitter\]^2]. A doubling metric
+    with a predictable structure: handy for deterministic-ish UBG
+    tests. *)

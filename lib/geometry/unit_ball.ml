@@ -1,0 +1,57 @@
+module Graph = Rs_graph.Graph
+
+let of_metric ?(radius = 1.0) (m : Metric.t) =
+  let es = ref [] in
+  for u = 0 to m.size - 1 do
+    for v = u + 1 to m.size - 1 do
+      if m.dist u v <= radius then es := (u, v) :: !es
+    done
+  done;
+  Graph.make ~n:m.size !es
+
+(* Cell grid of side [radius]: neighbors of a point lie in the 3^d
+   surrounding cells. Cells are hashed by their integer coordinates. *)
+let of_points ?(radius = 1.0) pts =
+  let n = Array.length pts in
+  if n = 0 then Graph.make ~n:0 []
+  else begin
+    let d = Array.length pts.(0) in
+    let cell_of p = Array.map (fun x -> int_of_float (Float.floor (x /. radius))) p in
+    let key c = Array.fold_left (fun acc x -> (acc * 1_000_003) + x + 500_000) 17 c in
+    let cells : (int, int list) Hashtbl.t = Hashtbl.create (2 * n) in
+    let cell_coord = Array.map cell_of pts in
+    Array.iteri
+      (fun i c ->
+        let k = key c in
+        Hashtbl.replace cells k (i :: Option.value ~default:[] (Hashtbl.find_opt cells k)))
+      cell_coord;
+    let es = ref [] in
+    (* enumerate offsets in {-1,0,1}^d *)
+    let offsets =
+      let rec build i acc = if i = d then [ List.rev acc ] else
+          List.concat_map (fun o -> build (i + 1) (o :: acc)) [ -1; 0; 1 ]
+      in
+      build 0 [] |> List.map Array.of_list
+    in
+    for u = 0 to n - 1 do
+      let cu = cell_coord.(u) in
+      List.iter
+        (fun off ->
+          let c = Array.mapi (fun i x -> x + off.(i)) cu in
+          match Hashtbl.find_opt cells (key c) with
+          | None -> ()
+          | Some vs ->
+              List.iter
+                (fun v ->
+                  if v > u && Point.l2 pts.(u) pts.(v) <= radius then es := (u, v) :: !es)
+                vs)
+        offsets
+    done;
+    Graph.make ~n !es
+  end
+
+let udg ?radius pts =
+  Array.iter
+    (fun p -> if Array.length p <> 2 then invalid_arg "Unit_ball.udg: points must be 2-D")
+    pts;
+  of_points ?radius pts

@@ -1,0 +1,16 @@
+(** Unit ball graph construction.
+
+    [G] has an edge [uv] iff [dist(u, v) <= radius]. The Euclidean 2-D
+    case (unit {e disk} graph) is accelerated with a cell grid; the
+    generic metric case is O(n^2). *)
+
+val of_metric : ?radius:float -> Metric.t -> Rs_graph.Graph.t
+(** Generic O(n^2) builder; [radius] defaults to 1. *)
+
+val of_points : ?radius:float -> Point.t array -> Rs_graph.Graph.t
+(** Euclidean unit ball graph in any dimension, cell-grid accelerated
+    (expected near-linear time for bounded densities). *)
+
+val udg : ?radius:float -> Point.t array -> Rs_graph.Graph.t
+(** Alias of {!of_points} restricted to 2-D inputs (the paper's unit
+    disk graph); raises [Invalid_argument] on other dimensions. *)

@@ -1,0 +1,103 @@
+module Graph = Rs_graph.Graph
+module Edge_set = Rs_graph.Edge_set
+
+type t = { g : Graph.t; w : float array (* by canonical edge id *) }
+
+let of_metric_graph (m : Metric.t) g =
+  if m.size <> Graph.n g then invalid_arg "Wgraph.of_metric_graph: size mismatch";
+  let w = Array.make (Graph.m g) 0.0 in
+  Graph.iter_edges (fun u v -> w.(Graph.edge_id g u v) <- m.dist u v) g;
+  { g; w }
+
+let n t = Graph.n t.g
+let m t = Graph.m t.g
+
+let weight t u v = t.w.(Graph.edge_id t.g u v)
+
+module Heap = Rs_graph.Heap.Make (Float)
+
+let dijkstra_adj g w adj_filter src =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          Array.iter
+            (fun v ->
+              if adj_filter u v then begin
+                let nd = d +. w.(Graph.edge_id g u v) in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  Heap.push heap nd v
+                end
+              end)
+            (Graph.neighbors g u);
+        drain ()
+  in
+  drain ();
+  dist
+
+let dijkstra t src = dijkstra_adj t.g t.w (fun _ _ -> true) src
+
+(* Bounded Dijkstra used inside the greedy spanner: stop once the
+   target is settled or distances exceed the bound. *)
+let spanner_dist g w keep src dst bound =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let result = ref infinity in
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if u = dst then result := d
+        else if d <= dist.(u) && d <= bound then begin
+          Array.iter
+            (fun v ->
+              if Edge_set.mem keep u v then begin
+                let nd = d +. w.(Graph.edge_id g u v) in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  Heap.push heap nd v
+                end
+              end)
+            (Graph.neighbors g u);
+          drain ()
+        end
+        else if d <= bound then drain ()
+  in
+  drain ();
+  !result
+
+let greedy_tspanner t ~t_ =
+  if t_ < 1.0 then invalid_arg "Wgraph.greedy_tspanner: t < 1";
+  let order = Array.init (Graph.m t.g) Fun.id in
+  Array.sort (fun a b -> compare t.w.(a) t.w.(b)) order;
+  let keep = Edge_set.create t.g in
+  Array.iter
+    (fun id ->
+      let u, v = Graph.edge t.g id in
+      let bound = t_ *. t.w.(id) in
+      let d = spanner_dist t.g t.w keep u v bound in
+      if d > bound then Edge_set.add_id keep id)
+    order;
+  keep
+
+let stretch_ok t keep ~t_ =
+  let ok = ref true in
+  Graph.iter_edges
+    (fun u v ->
+      if !ok && not (Edge_set.mem keep u v) then begin
+        let bound = t_ *. weight t u v in
+        (* tolerate floating rounding *)
+        if spanner_dist t.g t.w keep u v (bound +. 1e-9) > bound +. 1e-9 then ok := false
+      end)
+    t.g;
+  !ok

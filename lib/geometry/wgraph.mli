@@ -1,0 +1,32 @@
+(** Edge-weighted graphs and the classic greedy t-spanner.
+
+    Only the "known distances" baseline of Table 1 (row "UBG known
+    dist.", after [9]) needs weights: there the unit ball graph is
+    weighted by metric edge lengths and a [(1+eps, 0)]-spanner is built
+    with the greedy algorithm, which attains O(n) edges on doubling
+    metrics. Everything else in the library is unweighted. *)
+
+type t
+
+val of_metric_graph : Metric.t -> Rs_graph.Graph.t -> t
+(** Weight every edge of the (unit ball) graph by its metric length. *)
+
+val n : t -> int
+val m : t -> int
+val weight : t -> int -> int -> float
+(** Raises [Not_found] for non-edges. *)
+
+val dijkstra : t -> int -> float array
+(** Shortest weighted distances from a source; [infinity] when
+    unreachable. *)
+
+val greedy_tspanner : t -> t_:float -> Rs_graph.Edge_set.t
+(** Althöfer et al. greedy spanner: scan edges by increasing weight,
+    keep edge (u,v) iff the current spanner distance exceeds
+    [t_ * w(u,v)]. The result is a [t_]-spanner of the weighted graph;
+    on the unit ball graph of a doubling metric it has O(n) edges for
+    any fixed [t_ > 1]. *)
+
+val stretch_ok : t -> Rs_graph.Edge_set.t -> t_:float -> bool
+(** Verify the weighted t-spanner property edge-by-edge (sufficient:
+    per-edge stretch bounds path stretch). *)

@@ -1,0 +1,151 @@
+let no_radius = max_int
+
+let dist_adj ?(radius = no_radius) adj src =
+  let n = Array.length adj in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  dist.(src) <- 0;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    if du < radius then
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- du + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+        adj.(u)
+  done;
+  dist
+
+let dist ?radius g src =
+  dist_adj ?radius (Array.init (Graph.n g) (Graph.neighbors g)) src
+
+let dist_pair g u v =
+  if u = v then 0
+  else begin
+    let n = Graph.n g in
+    let dist = Array.make n (-1) in
+    let queue = Array.make n 0 in
+    dist.(u) <- 0;
+    queue.(0) <- u;
+    let head = ref 0 and tail = ref 1 in
+    let found = ref (-1) in
+    while !found < 0 && !head < !tail do
+      let x = queue.(!head) in
+      incr head;
+      let dx = dist.(x) in
+      Array.iter
+        (fun y ->
+          if dist.(y) < 0 then begin
+            dist.(y) <- dx + 1;
+            if y = v then found := dx + 1;
+            queue.(!tail) <- y;
+            incr tail
+          end)
+        (Graph.neighbors g x)
+    done;
+    !found
+  end
+
+let parents_adj ?(radius = no_radius) adj src =
+  let n = Array.length adj in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  dist.(src) <- 0;
+  parent.(src) <- src;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    if du < radius then
+      (* adjacency arrays are sorted, so the first discoverer of [v] is
+         the smallest-id vertex at distance d(v)-1: deterministic tree. *)
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- du + 1;
+            parent.(v) <- u;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+        adj.(u)
+  done;
+  parent
+
+let parents ?radius g src =
+  parents_adj ?radius (Array.init (Graph.n g) (Graph.neighbors g)) src
+
+let ball g u r =
+  let d = dist ~radius:r g u in
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if d.(v) >= 0 && d.(v) <= r then acc := v :: !acc
+  done;
+  let a = Array.of_list !acc in
+  Array.sort (fun a b -> compare (d.(a), a) (d.(b), b)) a;
+  a
+
+let sphere g u r =
+  let d = dist ~radius:r g u in
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if d.(v) = r then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+let ecc g u =
+  let d = dist g u in
+  Array.fold_left (fun acc x -> max acc x) 0 d
+
+let diameter g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else begin
+    let d0 = dist g 0 in
+    if Array.exists (fun x -> x < 0) d0 then -1
+    else
+      let best = ref 0 in
+      for u = 0 to n - 1 do
+        best := max !best (ecc g u)
+      done;
+      !best
+  end
+
+let augmented_dist g h_adj u =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  dist.(u) <- 0;
+  let tail = ref 0 in
+  Array.iter
+    (fun v ->
+      if dist.(v) < 0 then begin
+        dist.(v) <- 1;
+        queue.(!tail) <- v;
+        incr tail
+      end)
+    (Graph.neighbors g u);
+  let head = ref 0 in
+  while !head < !tail do
+    let x = queue.(!head) in
+    incr head;
+    let dx = dist.(x) in
+    Array.iter
+      (fun y ->
+        if dist.(y) < 0 then begin
+          dist.(y) <- dx + 1;
+          queue.(!tail) <- y;
+          incr tail
+        end)
+      h_adj.(x)
+  done;
+  dist

@@ -1,0 +1,48 @@
+(** Breadth-first search and distance utilities.
+
+    Distances use [-1] for "unreachable". Several variants operate on
+    raw adjacency arrays ([int array array]) so they apply both to full
+    graphs ({!Graph.neighbors}) and to materialized sub-graphs
+    ({!Edge_set.to_adjacency}). *)
+
+val dist_adj : ?radius:int -> int array array -> int -> int array
+(** [dist_adj adj src] is the array of BFS distances from [src] over
+    the adjacency structure [adj]. With [~radius], exploration stops at
+    that depth (farther vertices read [-1]). *)
+
+val dist : ?radius:int -> Graph.t -> int -> int array
+(** BFS distances in a graph. *)
+
+val dist_pair : Graph.t -> int -> int -> int
+(** [dist_pair g u v] is [d_G(u, v)], [-1] if disconnected. Early-exits
+    when [v] is reached. *)
+
+val parents_adj : ?radius:int -> int array array -> int -> int array
+(** BFS parent array from [src]: [parents.(src) = src], [-1] for
+    unreached vertices; otherwise a neighbor one step closer to [src].
+    The neighbor of smallest index is chosen, making the BFS tree
+    deterministic. *)
+
+val parents : ?radius:int -> Graph.t -> int -> int array
+
+val ball : Graph.t -> int -> int -> int array
+(** [ball g u r] = vertices at distance <= r from [u] (including [u]),
+    in increasing distance order (ties by vertex id). *)
+
+val sphere : Graph.t -> int -> int -> int array
+(** [sphere g u r] = vertices at distance exactly [r] from [u]. *)
+
+val ecc : Graph.t -> int -> int
+(** Eccentricity of a vertex within its component. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter (max eccentricity over the largest structure); [-1]
+    when the graph is disconnected, 0 for graphs with <= 1 vertex. *)
+
+val augmented_dist : Graph.t -> int array array -> int -> int array
+(** [augmented_dist g h_adj u] computes the distances [d_{H_u}(u, ·)]
+    where [H_u] is the sub-graph with adjacency [h_adj] augmented by all
+    edges between [u] and its neighbors in [g]. A simple path from [u]
+    uses at most one edge incident to [u], so seeding the BFS with
+    [N_G(u)] at distance 1 and expanding through [h_adj] alone is exact.
+    This is the distance notion in the remote-spanner definition. *)

@@ -1,0 +1,106 @@
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  for s = 0 to n - 1 do
+    if label.(s) < 0 then begin
+      label.(s) <- s;
+      queue.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        Array.iter
+          (fun v ->
+            if label.(v) < 0 then begin
+              label.(v) <- s;
+              queue.(!tail) <- v;
+              incr tail
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  label
+
+let component_count g =
+  let label = components g in
+  let distinct = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace distinct l ()) label;
+  Hashtbl.length distinct
+
+let is_connected g = Graph.n g <= 1 || component_count g = 1
+
+let pair_connectivity g s t = Disjoint_paths.max_disjoint g s t
+
+let is_k_connected_pair g ~k s t =
+  if k <= 0 then true
+  else
+    match Disjoint_paths.dk g ~k s t with Some _ -> true | None -> false
+
+let min_degree g =
+  if Graph.n g = 0 then 0
+  else Graph.fold_vertices (fun acc u -> min acc (Graph.degree g u)) max_int g
+
+(* Iterative lowpoint DFS computing articulation points and bridges in
+   one pass. *)
+let lowpoint_scan g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let is_cut = Array.make n false in
+  let bridges = ref [] in
+  let timer = ref 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      let root_children = ref 0 in
+      (* explicit stack of (vertex, next neighbor index) *)
+      let stack = ref [ (root, ref 0) ] in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, idx) :: rest ->
+            let nbrs = Graph.neighbors g u in
+            if !idx < Array.length nbrs then begin
+              let v = nbrs.(!idx) in
+              incr idx;
+              if disc.(v) < 0 then begin
+                parent.(v) <- u;
+                if u = root then incr root_children;
+                disc.(v) <- !timer;
+                low.(v) <- !timer;
+                incr timer;
+                stack := (v, ref 0) :: !stack
+              end
+              else if v <> parent.(u) then low.(u) <- min low.(u) disc.(v)
+            end
+            else begin
+              (* retreat from u *)
+              stack := rest;
+              let p = parent.(u) in
+              if p >= 0 then begin
+                low.(p) <- min low.(p) low.(u);
+                if low.(u) > disc.(p) then
+                  bridges := (min p u, max p u) :: !bridges;
+                if p <> root && low.(u) >= disc.(p) then is_cut.(p) <- true
+              end
+            end
+      done;
+      if !root_children >= 2 then is_cut.(root) <- true
+    end
+  done;
+  (is_cut, List.sort compare !bridges)
+
+let cut_vertices g =
+  let is_cut, _ = lowpoint_scan g in
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if is_cut.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let bridges g = snd (lowpoint_scan g)

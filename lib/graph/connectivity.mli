@@ -1,0 +1,30 @@
+(** Connectivity predicates and components. *)
+
+val components : Graph.t -> int array
+(** Component label per vertex (labels are the smallest vertex id in
+    each component). *)
+
+val component_count : Graph.t -> int
+
+val is_connected : Graph.t -> bool
+(** True for graphs with <= 1 vertex. *)
+
+val pair_connectivity : Graph.t -> int -> int -> int
+(** Local vertex connectivity between two distinct vertices: the
+    maximum number of internally disjoint paths (Menger). *)
+
+val is_k_connected_pair : Graph.t -> k:int -> int -> int -> bool
+(** [is_k_connected_pair g ~k s t]: do k internally disjoint s-t paths
+    exist? *)
+
+val min_degree : Graph.t -> int
+
+val cut_vertices : Graph.t -> int list
+(** Articulation points (Tarjan/Hopcroft lowpoint DFS), sorted.
+    Relevant to the edge-connectivity extension: the bow-tie
+    counterexample shows the vertex-based constructions only need
+    repair around cut vertices (experiment E13). *)
+
+val bridges : Graph.t -> (int * int) list
+(** Bridge edges (canonical order, sorted): edges whose removal
+    disconnects their component. *)

@@ -1,0 +1,78 @@
+(* Vertex split: x_in = 2x, x_out = 2x+1. Source is s_out, sink t_in. *)
+
+let build_network g s t =
+  let n = Graph.n g in
+  let net = Mincost_flow.create (2 * n) in
+  for x = 0 to n - 1 do
+    if x <> s && x <> t then
+      Mincost_flow.add_arc net ~src:(2 * x) ~dst:((2 * x) + 1) ~cap:1 ~cost:0
+  done;
+  Graph.iter_edges
+    (fun a b ->
+      Mincost_flow.add_arc net ~src:((2 * a) + 1) ~dst:(2 * b) ~cap:1 ~cost:1;
+      Mincost_flow.add_arc net ~src:((2 * b) + 1) ~dst:(2 * a) ~cap:1 ~cost:1)
+    g;
+  net
+
+let check_pair g s t =
+  if s = t then invalid_arg "Disjoint_paths: s = t";
+  if s < 0 || s >= Graph.n g || t < 0 || t >= Graph.n g then
+    invalid_arg "Disjoint_paths: vertex out of range"
+
+let dk_profile g ~kmax s t =
+  check_pair g s t;
+  if kmax < 1 then invalid_arg "Disjoint_paths.dk_profile: kmax < 1";
+  let net = build_network g s t in
+  let units = Mincost_flow.min_cost_units net ~s:((2 * s) + 1) ~t_:(2 * t) ~max_units:kmax in
+  let acc = ref 0 in
+  Array.of_list (List.map (fun c -> acc := !acc + c; !acc) units)
+
+let dk g ~k s t =
+  let profile = dk_profile g ~kmax:k s t in
+  if Array.length profile >= k then Some profile.(k - 1) else None
+
+let max_disjoint g s t =
+  check_pair g s t;
+  let bound = min (Graph.degree g s) (Graph.degree g t) in
+  if bound = 0 then 0
+  else
+    let profile = dk_profile g ~kmax:bound s t in
+    Array.length profile
+
+let min_sum_paths g ~k s t =
+  check_pair g s t;
+  if k < 1 then invalid_arg "Disjoint_paths.min_sum_paths: k < 1";
+  let net = build_network g s t in
+  let units = Mincost_flow.min_cost_units net ~s:((2 * s) + 1) ~t_:(2 * t) ~max_units:k in
+  if List.length units < k then None
+  else begin
+    (* Decompose the flow into k s-t paths. Edge arcs with flow give a
+       successor multimap on out-nodes; vertex arcs have cap 1 so each
+       internal vertex appears on at most one path. *)
+    let succ : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (src, dst, _flow) ->
+        (* only edge arcs (out -> in) matter; vertex arcs are in -> out *)
+        if src land 1 = 1 && dst land 1 = 0 then
+          Hashtbl.replace succ src (dst :: (Option.value ~default:[] (Hashtbl.find_opt succ src))))
+      (Mincost_flow.arcs_with_flow net);
+    let take_succ v =
+      match Hashtbl.find_opt succ v with
+      | Some (x :: rest) ->
+          Hashtbl.replace succ v rest;
+          Some x
+      | Some [] | None -> None
+    in
+    let walk () =
+      let rec go v acc =
+        (* v is a vertex id; acc is the reversed path so far *)
+        if v = t then List.rev (t :: acc)
+        else
+          match take_succ ((2 * v) + 1) with
+          | Some win -> go (win / 2) (v :: acc)
+          | None -> invalid_arg "Disjoint_paths: broken flow decomposition"
+      in
+      go s []
+    in
+    Some (List.init k (fun _ -> walk ()))
+  end

@@ -1,0 +1,207 @@
+let empty n = Graph.make ~n []
+
+let path_graph n =
+  Graph.make ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.make ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.make ~n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.make ~n:(a + b) !es
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Graph.make ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := (id r c, id r (c + 1)) :: !es;
+      if r + 1 < rows then es := (id r c, id (r + 1) c) :: !es
+    done
+  done;
+  Graph.make ~n:(rows * cols) !es
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      es := (id r c, id r ((c + 1) mod cols)) :: !es;
+      es := (id r c, id ((r + 1) mod rows) c) :: !es
+    done
+  done;
+  Graph.make ~n:(rows * cols) !es
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Gen.hypercube: dimension out of range";
+  let n = 1 lsl d in
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then es := (u, v) :: !es
+    done
+  done;
+  Graph.make ~n !es
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  Graph.make ~n:10 (outer @ spokes @ inner)
+
+let theta k len =
+  if k < 1 || len < 1 then invalid_arg "Gen.theta: need k >= 1, len >= 1";
+  let n = 2 + (k * len) in
+  let es = ref [] in
+  for p = 0 to k - 1 do
+    let base = 2 + (p * len) in
+    es := (0, base) :: !es;
+    for i = 0 to len - 2 do
+      es := (base + i, base + i + 1) :: !es
+    done;
+    es := (base + len - 1, 1) :: !es
+  done;
+  Graph.make ~n !es
+
+let erdos_renyi rand n p =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rand.float rand 1.0 < p then es := (u, v) :: !es
+    done
+  done;
+  Graph.make ~n !es
+
+let random_tree rand n =
+  Graph.make ~n (List.init (max 0 (n - 1)) (fun i -> (i + 1, Rand.int rand (i + 1))))
+
+let random_connected rand n p =
+  let tree = random_tree rand n in
+  let er = erdos_renyi rand n p in
+  Graph.union_edges er (Array.to_list (Graph.edges tree))
+
+let barbell n =
+  if n < 2 then invalid_arg "Gen.barbell: need n >= 2";
+  let es = ref [ (n - 1, n) ] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es;
+      es := (n + u, n + v) :: !es
+    done
+  done;
+  Graph.make ~n:(2 * n) !es
+
+let wheel n =
+  if n < 4 then invalid_arg "Gen.wheel: need n >= 4";
+  let spokes = List.init (n - 1) (fun i -> (0, i + 1)) in
+  let ring = (n - 1, 1) :: List.init (n - 2) (fun i -> (i + 1, i + 2)) in
+  Graph.make ~n (spokes @ ring)
+
+let circulant n offsets =
+  if n < 3 then invalid_arg "Gen.circulant: need n >= 3";
+  List.iter
+    (fun o -> if o < 1 || o > n / 2 then invalid_arg "Gen.circulant: offset out of range")
+    offsets;
+  let es = ref [] in
+  for i = 0 to n - 1 do
+    List.iter (fun o -> es := (i, (i + o) mod n) :: !es) offsets
+  done;
+  Graph.make ~n !es
+
+let binary_tree n =
+  let es = ref [] in
+  for i = 1 to n - 1 do
+    es := (i, (i - 1) / 2) :: !es
+  done;
+  Graph.make ~n !es
+
+let caterpillar spine legs =
+  if spine < 1 || legs < 0 then invalid_arg "Gen.caterpillar: bad parameters";
+  let n = spine * (1 + legs) in
+  let es = ref [] in
+  for i = 0 to spine - 2 do
+    es := (i, i + 1) :: !es
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      es := (i, spine + (i * legs) + l) :: !es
+    done
+  done;
+  Graph.make ~n !es
+
+let gnm rand n m =
+  let all = n * (n - 1) / 2 in
+  if m < 0 || m > all then invalid_arg "Gen.gnm: m out of range";
+  let chosen = Hashtbl.create (2 * m) in
+  while Hashtbl.length chosen < m do
+    let u = Rand.int rand n and v = Rand.int rand n in
+    if u <> v then begin
+      let e = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem chosen e) then Hashtbl.replace chosen e ()
+    end
+  done;
+  Graph.make ~n (Hashtbl.fold (fun e () acc -> e :: acc) chosen [])
+
+let random_regular rand n d =
+  if d < 0 || d >= n then invalid_arg "Gen.random_regular: need 0 <= d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular: n * d must be even";
+  (* pairing model with local repair: stubs are shuffled and paired in
+     order; a self-loop or duplicate edge is fixed by swapping in a
+     random later stub (bounded retries), falling back to a full
+     restart. Slightly non-uniform but degree-exact and fast for
+     d << n. *)
+  let rec attempt tries =
+    if tries = 0 then invalid_arg "Gen.random_regular: too many restarts"
+    else begin
+      let stubs = Array.init (n * d) (fun i -> i / d) in
+      Rand.shuffle rand stubs;
+      let len = Array.length stubs in
+      let seen = Hashtbl.create (n * d) in
+      let es = ref [] in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < len do
+        let rec place retries =
+          let u = stubs.(!i) and v = stubs.(!i + 1) in
+          let e = if u < v then (u, v) else (v, u) in
+          if u <> v && not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            es := e :: !es;
+            true
+          end
+          else if retries = 0 || !i + 2 >= len then false
+          else begin
+            let j = !i + 2 + Rand.int rand (len - !i - 2) in
+            let tmp = stubs.(!i + 1) in
+            stubs.(!i + 1) <- stubs.(j);
+            stubs.(j) <- tmp;
+            place (retries - 1)
+          end
+        in
+        if place 100 then i := !i + 2 else ok := false
+      done;
+      if !ok then Graph.make ~n !es else attempt (tries - 1)
+    end
+  in
+  attempt 200

@@ -1,0 +1,80 @@
+(** Combinatorial graph generators.
+
+    Deterministic families for tests and adversarial experiments, plus
+    seeded random families ({!erdos_renyi}, {!random_tree}, ...). The
+    geometric families (unit disk / unit ball graphs) live in
+    [Rs_geometry]. *)
+
+val empty : int -> Graph.t
+(** [empty n]: n isolated vertices. *)
+
+val path_graph : int -> Graph.t
+(** Path 0-1-...-(n-1). *)
+
+val cycle : int -> Graph.t
+(** Cycle on n >= 3 vertices. *)
+
+val complete : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b]: left part [0..a-1], right [a..a+b-1]. *)
+
+val star : int -> Graph.t
+(** [star n]: center 0 joined to [1..n-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols], vertex (r, c) = r*cols + c. *)
+
+val torus : int -> int -> Graph.t
+(** Grid with wrap-around rows/columns (rows, cols >= 3). *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: 2^d vertices, edges between ids at Hamming
+    distance 1. *)
+
+val petersen : unit -> Graph.t
+
+val theta : int -> int -> Graph.t
+(** [theta k len]: two hub vertices 0 and 1 joined by [k] internally
+    disjoint paths of [len] internal vertices each — the canonical
+    k-connected pair ([d^k(0,1) = k*(len+1)]). Requires len >= 1. *)
+
+val erdos_renyi : Rand.t -> int -> float -> Graph.t
+(** G(n, p). *)
+
+val random_tree : Rand.t -> int -> Graph.t
+(** Uniform-ish random tree: vertex i >= 1 attaches to a uniform
+    earlier vertex. *)
+
+val random_connected : Rand.t -> int -> float -> Graph.t
+(** G(n, p) unioned with a random tree: connected by construction,
+    keeps ER local structure for p above the threshold. *)
+
+val barbell : int -> Graph.t
+(** Two [complete n] cliques joined by a single bridge edge. *)
+
+val wheel : int -> Graph.t
+(** [wheel n]: hub 0 joined to a cycle [1..n-1] (n >= 4). *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets]: vertex i joined to i±o mod n for each
+    offset. Offsets must be in [1, n/2]. A cheap bounded-degree
+    expander-ish family. *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary tree with n vertices (vertex i's children are
+    2i+1, 2i+2). *)
+
+val caterpillar : int -> int -> Graph.t
+(** [caterpillar spine legs]: a path of [spine] vertices, each with
+    [legs] pendant leaves — a high-degree tree stressing the log Delta
+    factors. *)
+
+val gnm : Rand.t -> int -> int -> Graph.t
+(** Uniform random graph with exactly [m] distinct edges (m at most
+    n(n-1)/2). *)
+
+val random_regular : Rand.t -> int -> int -> Graph.t
+(** [random_regular rand n d]: d-regular random graph by the pairing
+    model with local stub-swap repair (approximately uniform,
+    degree-exact). [n * d] must be even, [d < n]. *)

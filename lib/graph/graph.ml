@@ -1,0 +1,126 @@
+type t = {
+  n : int;
+  adj : int array array;
+  edges : (int * int) array;
+  eid : (int, int) Hashtbl.t; (* key = u * n + v with u < v *)
+}
+
+let key g u v = if u < v then (u * g.n) + v else (v * g.n) + u
+
+let canonical u v = if u < v then (u, v) else (v, u)
+
+let build n edge_list =
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.make: endpoint out of range (%d,%d)" u v);
+      if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u))
+    edge_list;
+  let tbl = Hashtbl.create (max 16 (List.length edge_list)) in
+  List.iter
+    (fun (u, v) ->
+      let u, v = canonical u v in
+      Hashtbl.replace tbl ((u * n) + v) (u, v))
+    edge_list;
+  let edges = Array.make (Hashtbl.length tbl) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun _ e ->
+      edges.(!i) <- e;
+      incr i)
+    tbl;
+  Array.sort compare edges;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  let eid = Hashtbl.create (max 16 (Array.length edges)) in
+  Array.iteri (fun i (u, v) -> Hashtbl.replace eid ((u * n) + v) i) edges;
+  { n; adj; edges; eid }
+
+let make ~n edges =
+  if n < 0 then invalid_arg "Graph.make: negative n";
+  build n edges
+
+let of_arrays ~n edges = make ~n (Array.to_list edges)
+
+let n g = g.n
+let m g = Array.length g.edges
+let neighbors g u = g.adj.(u)
+let degree g u = Array.length g.adj.(u)
+
+let max_degree g = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let mem_edge g u v = u <> v && Hashtbl.mem g.eid (key g u v)
+
+let edge_id g u v =
+  match Hashtbl.find_opt g.eid (key g u v) with
+  | Some id -> id
+  | None -> raise Not_found
+
+let edge g id = g.edges.(id)
+let edges g = g.edges
+
+let iter_edges f g = Array.iter (fun (u, v) -> f u v) g.edges
+
+let fold_edges f acc g = Array.fold_left (fun acc (u, v) -> f acc u v) acc g.edges
+
+let iter_vertices f g =
+  for u = 0 to g.n - 1 do
+    f u
+  done
+
+let fold_vertices f acc g =
+  let acc = ref acc in
+  for u = 0 to g.n - 1 do
+    acc := f !acc u
+  done;
+  !acc
+
+let induced g vs =
+  let k = Array.length vs in
+  let fwd = Hashtbl.create k in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem fwd v then invalid_arg "Graph.induced: duplicate vertex";
+      Hashtbl.replace fwd v i)
+    vs;
+  let es = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt fwd w with
+          | Some j when i < j -> es := (i, j) :: !es
+          | _ -> ())
+        g.adj.(v))
+    vs;
+  (make ~n:k !es, Array.copy vs)
+
+let remove_vertex g u =
+  let es =
+    fold_edges (fun acc a b -> if a = u || b = u then acc else (a, b) :: acc) [] g
+  in
+  make ~n:g.n es
+
+let union_edges g es =
+  make ~n:g.n (List.rev_append es (Array.to_list g.edges))
+
+let equal g1 g2 = g1.n = g2.n && g1.edges = g2.edges
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d@,@[<hov>" g.n (m g);
+  iter_edges (fun u v -> Format.fprintf fmt "(%d,%d)@ " u v) g;
+  Format.fprintf fmt "@]@]"

@@ -1,0 +1,77 @@
+(** Static, simple, undirected, unweighted graphs.
+
+    Vertices are the integers [0 .. n-1]. The structure is immutable
+    once built: adjacency lists are sorted arrays and every edge has a
+    canonical identifier in [0 .. m-1] (edges sorted lexicographically
+    as [(min u v, max u v)] pairs). Self-loops are rejected; duplicate
+    edges are merged at construction.
+
+    This is the substrate every remote-spanner algorithm operates on. *)
+
+type t
+
+val make : n:int -> (int * int) list -> t
+(** [make ~n edges] builds a graph on vertices [0..n-1]. Raises
+    [Invalid_argument] on out-of-range endpoints or self-loops.
+    Duplicate edges (in either orientation) are merged. *)
+
+val of_arrays : n:int -> (int * int) array -> t
+(** Same as {!make} from an array (the array is not retained). *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g u] is the sorted array of neighbors of [u]. The array
+    is owned by the graph and must not be mutated. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** Maximum degree, 0 for the empty graph. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency (symmetric; false for [u = v]). *)
+
+val edge_id : t -> int -> int -> int
+(** [edge_id g u v] is the canonical id of edge [uv].
+    Raises [Not_found] if absent. *)
+
+val edge : t -> int -> int * int
+(** [edge g id] is the canonical [(u, v)] pair, [u < v], of edge [id]. *)
+
+val edges : t -> (int * int) array
+(** All edges in canonical order. Owned by the graph; do not mutate. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** [iter_edges f g] calls [f u v] with [u < v] for every edge. *)
+
+val fold_edges : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+
+val iter_vertices : (int -> unit) -> t -> unit
+
+val fold_vertices : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the sub-graph induced by the distinct vertex set
+    [vs], with vertices renumbered [0..k-1] in the order of [vs];
+    returns [(h, back)] where [back.(i)] is the original id of new
+    vertex [i]. *)
+
+val remove_vertex : t -> int -> t
+(** [remove_vertex g u] deletes [u] and its incident edges, keeping the
+    original numbering (vertex [u] becomes isolated). Used by
+    fault-injection tests. *)
+
+val union_edges : t -> (int * int) list -> t
+(** [union_edges g es] is [g] with the extra edges added (same vertex
+    set). *)
+
+val equal : t -> t -> bool
+(** Structural equality (same [n] and same edge set). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: [n], [m] and the edge list. *)

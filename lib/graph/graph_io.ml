@@ -1,0 +1,60 @@
+let to_string g =
+  let buf = Buffer.create (16 * Graph.m g) in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) g;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> failwith "Graph_io.of_string: empty input"
+  | header :: rest ->
+      let n, m =
+        match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+        | [ a; b ] -> (
+            try (int_of_string a, int_of_string b)
+            with _ -> failwith "Graph_io.of_string: bad header")
+        | _ -> failwith "Graph_io.of_string: bad header"
+      in
+      let parse_edge l =
+        match String.split_on_char ' ' l |> List.filter (( <> ) "") with
+        | [ a; b ] -> (
+            try (int_of_string a, int_of_string b)
+            with _ -> failwith ("Graph_io.of_string: bad edge line: " ^ l))
+        | _ -> failwith ("Graph_io.of_string: bad edge line: " ^ l)
+      in
+      let edges = List.map parse_edge rest in
+      if List.length edges <> m then failwith "Graph_io.of_string: edge count mismatch";
+      Graph.make ~n edges
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string s)
+
+let to_dot ?highlight ?(labels = string_of_int) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  Graph.iter_vertices
+    (fun u -> Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" u (labels u)))
+    g;
+  Graph.iter_edges
+    (fun u v ->
+      let hot = match highlight with Some h -> Edge_set.mem h u v | None -> false in
+      let style = if hot then " [color=red, penwidth=2.0]" else " [color=gray]" in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v style))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

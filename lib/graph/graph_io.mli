@@ -1,0 +1,15 @@
+(** Plain-text serialization of graphs.
+
+    Format: first line "n m", then one "u v" pair per line. Lines
+    starting with '#' are comments. Used by the [rspan] CLI. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> Graph.t -> unit
+val load : string -> Graph.t
+
+val to_dot : ?highlight:Edge_set.t -> ?labels:(int -> string) -> Graph.t -> string
+(** Graphviz export. Edges in [highlight] are drawn bold red (spanner
+    edges); the rest gray. *)

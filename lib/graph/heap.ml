@@ -1,0 +1,60 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) = struct
+  type t = { mutable data : (Key.t * int) array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let less h i j = Key.compare (fst h.data.(i)) (fst h.data.(j)) < 0
+
+  let push h key v =
+    if h.len = Array.length h.data then begin
+      let grown = Array.make (max 64 (2 * h.len)) (key, v) in
+      Array.blit h.data 0 grown 0 h.len;
+      h.data <- grown
+    end;
+    h.data.(h.len) <- (key, v);
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if less h !i p then begin
+        swap h !i p;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      let i = ref 0 and continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h l !smallest then smallest := l;
+        if r < h.len && less h r !smallest then smallest := r;
+        if !smallest <> !i then begin
+          swap h !smallest !i;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let size h = h.len
+end

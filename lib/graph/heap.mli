@@ -1,0 +1,23 @@
+(** Minimal binary min-heaps, shared by the Dijkstra variants.
+
+    A functor over the key type; values are the priorities, payloads
+    are ints (vertex/arc ids). Amortized O(log n) push/pop, grow-only
+    storage. Duplicate payloads are allowed (lazy deletion is the
+    caller's concern, as usual for Dijkstra). *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> Key.t -> int -> unit
+  val pop : t -> (Key.t * int) option
+  (** Smallest key first; [None] when empty. *)
+
+  val size : t -> int
+end

@@ -1,0 +1,35 @@
+let max_matching ~left ~right edges =
+  let adj = Array.make left [] in
+  List.iter
+    (fun (l, r) ->
+      if l < 0 || l >= left || r < 0 || r >= right then
+        invalid_arg "Matching.max_matching: vertex out of range";
+      adj.(l) <- r :: adj.(l))
+    edges;
+  let match_r = Array.make right (-1) in
+  let visited = Array.make right false in
+  let rec try_kuhn l =
+    List.exists
+      (fun r ->
+        if visited.(r) then false
+        else begin
+          visited.(r) <- true;
+          if match_r.(r) < 0 || try_kuhn match_r.(r) then begin
+            match_r.(r) <- l;
+            true
+          end
+          else false
+        end)
+      adj.(l)
+  in
+  for l = 0 to left - 1 do
+    Array.fill visited 0 right false;
+    ignore (try_kuhn l)
+  done;
+  let pairs = ref [] in
+  for r = right - 1 downto 0 do
+    if match_r.(r) >= 0 then pairs := (match_r.(r), r) :: !pairs
+  done;
+  !pairs
+
+let matching_size ~left ~right edges = List.length (max_matching ~left ~right edges)

@@ -1,0 +1,14 @@
+(** Maximum bipartite matching (Kuhn's augmenting paths).
+
+    Used by the k-connecting dominating-tree induction checker: the
+    existence of k internally disjoint depth-2 tree paths from a root
+    to k neighbors of a target reduces to matching targets against
+    relay vertices. *)
+
+val max_matching : left:int -> right:int -> (int * int) list -> (int * int) list
+(** [max_matching ~left ~right edges] computes a maximum matching of
+    the bipartite graph with left vertices [0..left-1], right vertices
+    [0..right-1] and the given (left, right) edges. Returns the matched
+    pairs. *)
+
+val matching_size : left:int -> right:int -> (int * int) list -> int

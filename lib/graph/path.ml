@@ -1,0 +1,71 @@
+type t = int list
+
+let length = function
+  | [] -> invalid_arg "Path.length: empty path"
+  | p -> List.length p - 1
+
+let source = function
+  | [] -> invalid_arg "Path.source: empty path"
+  | v :: _ -> v
+
+let rec target = function
+  | [] -> invalid_arg "Path.target: empty path"
+  | [ v ] -> v
+  | _ :: rest -> target rest
+
+let no_repeats p =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.replace seen v ();
+        true
+      end)
+    p
+
+let edges_ok mem p =
+  let rec loop = function
+    | a :: (b :: _ as rest) -> mem a b && loop rest
+    | [ _ ] | [] -> true
+  in
+  loop p
+
+let is_valid g p = p <> [] && no_repeats p && edges_ok (Graph.mem_edge g) p
+
+let is_valid_in s p = p <> [] && no_repeats p && edges_ok (Edge_set.mem s) p
+
+let internal = function
+  | [] | [ _ ] -> []
+  | _ :: rest -> (
+      match List.rev rest with _ :: mid -> List.rev mid | [] -> [])
+
+let pairwise_disjoint paths =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun p ->
+      List.for_all
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.replace seen v ();
+            true
+          end)
+        (internal p))
+    paths
+
+let concat p q =
+  match (List.rev p, q) with
+  | last :: _, first :: rest when last = first -> p @ rest
+  | _ -> invalid_arg "Path.concat: endpoint mismatch"
+
+let of_parents parent v =
+  if v < 0 || v >= Array.length parent || parent.(v) < 0 then
+    invalid_arg "Path.of_parents: vertex unreached";
+  let rec up v acc = if parent.(v) = v then v :: acc else up parent.(v) (v :: acc) in
+  up v []
+
+let pp fmt p =
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "-") Format.pp_print_int)
+    p

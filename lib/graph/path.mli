@@ -1,0 +1,39 @@
+(** Simple paths as vertex sequences.
+
+    A path is a non-empty list of vertices [v0; v1; ...; vl]; its
+    length is [l] (number of edges). The disjoint-path machinery
+    returns values of this type so that callers can independently check
+    validity and disjointness. *)
+
+type t = int list
+
+val length : t -> int
+(** Number of edges ([length [v] = 0]). Raises on the empty list. *)
+
+val source : t -> int
+val target : t -> int
+
+val is_valid : Graph.t -> t -> bool
+(** Every consecutive pair is an edge of the graph and no vertex
+    repeats (simple path). *)
+
+val is_valid_in : Edge_set.t -> t -> bool
+(** Same, but every edge must belong to the edge set. *)
+
+val internal : t -> int list
+(** Internal vertices (all but the two endpoints). *)
+
+val pairwise_disjoint : t list -> bool
+(** True when the paths share no {e internal} vertex — the paper's
+    notion of disjointness for k-connectivity (endpoints may and must
+    coincide). *)
+
+val concat : t -> t -> t
+(** [concat p q] glues [p] ending at [x] with [q] starting at [x].
+    Raises [Invalid_argument] when endpoints do not match. *)
+
+val of_parents : int array -> int -> t
+(** [of_parents parent v] reads the path root..v off a BFS parent array
+    ({!Bfs.parents}). Raises [Invalid_argument] if [v] is unreached. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy r = { state = r.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 r =
+  r.state <- Int64.add r.state golden_gamma;
+  mix64 r.state
+
+let split r =
+  let s = bits64 r in
+  { state = s }
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rand.int: bound must be positive";
+  (* 62 bits of entropy: stays non-negative after Int64.to_int on a
+     63-bit OCaml int. Rejection-free is fine against small bounds. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 r) 2) in
+  x mod bound
+
+let float r bound =
+  let x = Int64.to_float (Int64.shift_right_logical (bits64 r) 11) in
+  (* 53 significant bits *)
+  bound *. (x /. 9007199254740992.0)
+
+let bool r = Int64.logand (bits64 r) 1L = 1L
+
+let poisson r lambda =
+  if lambda < 0.0 then invalid_arg "Rand.poisson: negative mean";
+  if lambda <= 500.0 then begin
+    let limit = exp (-.lambda) in
+    let rec loop k p =
+      let p = p *. float r 1.0 in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Box–Muller normal approximation, adequate for large means. *)
+    let u1 = max 1e-300 (float r 1.0) and u2 = float r 1.0 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    max 0 (int_of_float (Float.round (lambda +. (z *. sqrt lambda))))
+  end
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick r a =
+  if Array.length a = 0 then invalid_arg "Rand.pick: empty array";
+  a.(int r (Array.length a))

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the library flows through an explicit [Rand.t] so
+    that every experiment is reproducible bit-for-bit from its seed.
+    The generator is the splitmix64 sequence of Steele, Lea and Flood,
+    which passes BigCrush and is trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Equal
+    seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy r] returns an independent generator at the same state. *)
+
+val split : t -> t
+(** [split r] advances [r] and returns a new generator whose stream is
+    statistically independent from the continuation of [r]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int r bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float r bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val poisson : t -> float -> int
+(** [poisson r lambda] samples a Poisson random variable of mean
+    [lambda]. Uses Knuth's product method for small [lambda] and a
+    normal approximation with continuity correction above 500 (exact
+    enough for experiment sizing). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,80 @@
+type t = { root : int; parent : int array; mutable size : int }
+
+let create ~n ~root =
+  if root < 0 || root >= n then invalid_arg "Tree.create: root out of range";
+  let parent = Array.make n (-1) in
+  parent.(root) <- root;
+  { root; parent; size = 1 }
+
+let root t = t.root
+
+let mem t v = v >= 0 && v < Array.length t.parent && t.parent.(v) >= 0
+
+let parent t v =
+  if not (mem t v) then invalid_arg "Tree.parent: not a member";
+  t.parent.(v)
+
+let add_edge t ~parent ~child =
+  if not (mem t parent) then invalid_arg "Tree.add_edge: parent not in tree";
+  if child = t.root then invalid_arg "Tree.add_edge: cannot re-parent the root";
+  if mem t child then begin
+    if t.parent.(child) <> parent then
+      invalid_arg "Tree.add_edge: child already has a different parent"
+  end
+  else begin
+    t.parent.(child) <- parent;
+    t.size <- t.size + 1
+  end
+
+let graft_parents t bfs_parent x =
+  if bfs_parent.(x) < 0 then invalid_arg "Tree.graft_parents: vertex unreached";
+  let rec climb v =
+    if not (mem t v) then begin
+      let p = bfs_parent.(v) in
+      climb p;
+      add_edge t ~parent:p ~child:v
+    end
+  in
+  climb x
+
+let depth t v =
+  if not (mem t v) then invalid_arg "Tree.depth: not a member";
+  let rec up v acc = if v = t.root then acc else up t.parent.(v) (acc + 1) in
+  up v 0
+
+let first_hop t v =
+  if not (mem t v) then invalid_arg "Tree.first_hop: not a member";
+  if v = t.root then invalid_arg "Tree.first_hop: root has no first hop";
+  let rec up v = if t.parent.(v) = t.root then v else up t.parent.(v) in
+  up v
+
+let path_from_root t v =
+  if not (mem t v) then invalid_arg "Tree.path_from_root: not a member";
+  let rec up v acc = if v = t.root then v :: acc else up t.parent.(v) (v :: acc) in
+  up v []
+
+let size t = t.size
+let edge_count t = t.size - 1
+
+let vertices t =
+  let acc = ref [] in
+  for v = Array.length t.parent - 1 downto 0 do
+    if t.parent.(v) >= 0 then acc := v :: !acc
+  done;
+  !acc
+
+let edges t =
+  let acc = ref [] in
+  for v = Array.length t.parent - 1 downto 0 do
+    if t.parent.(v) >= 0 && v <> t.root then acc := (t.parent.(v), v) :: !acc
+  done;
+  !acc
+
+let edges_in g t = List.for_all (fun (p, c) -> Graph.mem_edge g p c) (edges t)
+
+let add_to set t = List.iter (fun (p, c) -> Edge_set.add set p c) (edges t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov>tree root=%d size=%d@ " t.root t.size;
+  List.iter (fun (p, c) -> Format.fprintf fmt "%d->%d@ " p c) (edges t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,64 @@
+(** Rooted trees over a subset of a graph's vertices.
+
+    A tree is a parent array: [parent.(root) = root], [parent.(v) = -1]
+    for vertices outside the tree. Dominating trees (the paper's
+    central tool) are values of this type whose edges live in the host
+    graph; unions of trees form the remote-spanner edge sets. *)
+
+type t
+
+val create : n:int -> root:int -> t
+(** Tree containing only its root, over a vertex universe of size [n]. *)
+
+val root : t -> int
+
+val mem : t -> int -> bool
+(** Vertex membership. *)
+
+val parent : t -> int -> int
+(** Parent of a member vertex; [root] maps to itself. Raises
+    [Invalid_argument] on non-members. *)
+
+val add_edge : t -> parent:int -> child:int -> unit
+(** Attach [child] under [parent]. [parent] must already be in the
+    tree. If [child] is already in the tree, the call must agree with
+    its existing parent (re-adding the same edge is a no-op; conflicting
+    parents raise [Invalid_argument] — a tree has one path per node). *)
+
+val graft_parents : t -> int array -> int -> unit
+(** [graft_parents t bfs_parent x] adds the whole path root..x read off
+    a BFS parent array rooted at [t]'s root (see {!Bfs.parents}). Stops
+    climbing as soon as an already-member vertex is met, so repeated
+    grafts of shortest paths keep depths equal to BFS distances. *)
+
+val depth : t -> int -> int
+(** Edge-distance from the root to a member vertex. *)
+
+val first_hop : t -> int -> int
+(** The depth-1 ancestor of a non-root member. Two root-to-node tree
+    paths are internally disjoint iff their first hops differ and
+    neither target lies on the other path; this accessor supports the
+    disjointness checks of k-connecting dominating trees. *)
+
+val path_from_root : t -> int -> Path.t
+(** Unique tree path root..v. *)
+
+val size : t -> int
+(** Number of member vertices. *)
+
+val edge_count : t -> int
+(** [size t - 1]. *)
+
+val vertices : t -> int list
+(** Member vertices in increasing order. *)
+
+val edges : t -> (int * int) list
+(** Tree edges as (parent, child) pairs. *)
+
+val edges_in : Graph.t -> t -> bool
+(** All tree edges are edges of the given graph. *)
+
+val add_to : Edge_set.t -> t -> unit
+(** Union the tree's edges into an edge set (host must contain them). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+module Graph = Rs_graph.Graph
+module Edge_set = Rs_graph.Edge_set
+module Bfs = Rs_graph.Bfs
+module Rand = Rs_graph.Rand
+
+type strategy = { name : string; build : Graph.t -> Edge_set.t }
+
+type report = {
+  name : string;
+  steps : int;
+  pairs_attempted : int;
+  delivered : int;
+  mean_stretch : float;
+  mean_advertised : float;
+  link_changes : int;
+}
+
+(* mutable per-strategy accumulator *)
+type state = {
+  strategy : strategy;
+  mutable stale_adj : int array array;  (** adjacency of the stale H *)
+  mutable advertised_sum : int;
+  mutable refreshes : int;
+  mutable attempted : int;
+  mutable delivered : int;
+  mutable stretch_sum : float;
+}
+
+(* belief distances from [dst] in (stale H + c's current links);
+   mirrors Link_state.dist_from_in_view but with a decoupled stale
+   adjacency *)
+let belief_dist ~n ~stale_adj ~current c dst =
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  dist.(dst) <- 0;
+  queue.(0) <- dst;
+  let head = ref 0 and tail = ref 1 in
+  let push v d =
+    if dist.(v) < 0 then begin
+      dist.(v) <- d;
+      queue.(!tail) <- v;
+      incr tail
+    end
+  in
+  while !head < !tail do
+    let x = queue.(!head) in
+    incr head;
+    let dx = dist.(x) in
+    Array.iter (fun y -> push y (dx + 1)) stale_adj.(x);
+    if x = c then Array.iter (fun y -> push y (dx + 1)) (Graph.neighbors current c)
+    else if Graph.mem_edge current c x then push c (dx + 1)
+  done;
+  dist
+
+let route ~n ~stale_adj ~current src dst =
+  let rec forward c hops =
+    if c = dst then Some hops
+    else if hops > n then None (* stale loop *)
+    else begin
+      let dist = belief_dist ~n ~stale_adj ~current c dst in
+      let best = ref (-1) and best_d = ref max_int in
+      Array.iter
+        (fun w ->
+          if dist.(w) >= 0 && dist.(w) < !best_d then begin
+            best := w;
+            best_d := dist.(w)
+          end)
+        (Graph.neighbors current c);
+      match !best with -1 -> None | w -> forward w (hops + 1)
+    end
+  in
+  forward src 0
+
+let edge_pair_set g =
+  let tbl = Hashtbl.create (2 * Graph.m g) in
+  Graph.iter_edges (fun u v -> Hashtbl.replace tbl (u, v) ()) g;
+  tbl
+
+let count_flips prev cur =
+  let a = edge_pair_set prev and b = edge_pair_set cur in
+  let flips = ref 0 in
+  Hashtbl.iter (fun e () -> if not (Hashtbl.mem b e) then incr flips) a;
+  Hashtbl.iter (fun e () -> if not (Hashtbl.mem a e) then incr flips) b;
+  !flips
+
+let adjacency_of_pairs ~n pairs =
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    pairs;
+  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    pairs;
+  adj
+
+let run rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
+  if refresh < 1 || steps < 1 then invalid_arg "Churn_eval.run: steps, refresh >= 1";
+  let n = Waypoint.n model in
+  let states =
+    List.map
+      (fun strategy ->
+        {
+          strategy;
+          stale_adj = Array.make n [||];
+          advertised_sum = 0;
+          refreshes = 0;
+          attempted = 0;
+          delivered = 0;
+          stretch_sum = 0.0;
+        })
+      strategies
+  in
+  let prev_graph = ref None in
+  let link_changes = ref 0 in
+  for t = 0 to steps - 1 do
+    let g = Waypoint.graph model in
+    (match !prev_graph with
+    | Some p -> link_changes := !link_changes + count_flips p g
+    | None -> ());
+    prev_graph := Some g;
+    if t mod refresh = 0 then
+      List.iter
+        (fun st ->
+          let h = st.strategy.build g in
+          st.stale_adj <- adjacency_of_pairs ~n (Edge_set.to_list h);
+          st.advertised_sum <- st.advertised_sum + Edge_set.cardinal h;
+          st.refreshes <- st.refreshes + 1)
+        states;
+    (* shared random pairs for a paired comparison *)
+    let d0 = Bfs.dist g 0 in
+    ignore d0;
+    for _ = 1 to pairs_per_step do
+      let s = Rand.int rand n and d = Rand.int rand n in
+      if s <> d && Bfs.dist_pair g s d > 0 then begin
+        let dg = Bfs.dist_pair g s d in
+        List.iter
+          (fun st ->
+            st.attempted <- st.attempted + 1;
+            match route ~n ~stale_adj:st.stale_adj ~current:g s d with
+            | Some hops ->
+                st.delivered <- st.delivered + 1;
+                st.stretch_sum <- st.stretch_sum +. (float_of_int hops /. float_of_int dg)
+            | None -> ())
+          states
+      end
+    done;
+    Waypoint.step model
+  done;
+  List.map
+    (fun st ->
+      {
+        name = st.strategy.name;
+        steps;
+        pairs_attempted = st.attempted;
+        delivered = st.delivered;
+        mean_stretch =
+          (if st.delivered = 0 then 0.0 else st.stretch_sum /. float_of_int st.delivered);
+        mean_advertised =
+          (if st.refreshes = 0 then 0.0
+           else float_of_int st.advertised_sum /. float_of_int st.refreshes);
+        link_changes = !link_changes;
+      })
+    states

@@ -1,0 +1,45 @@
+(** Routing under mobility with periodically refreshed advertisements.
+
+    The practical regime the paper targets: the advertised sub-graph H
+    is recomputed every [refresh] steps from the then-current topology
+    and is {e stale} in between, while hello-level neighbor knowledge
+    stays current (routers always know their own links, the premise of
+    remote-spanners). A packet is forwarded greedily over
+    [stale H restricted to surviving links] + [current own links];
+    vanished links drop routes, so the figure of merit is delivery
+    ratio and stretch as functions of staleness — and redundancy
+    (2-connecting spanners) should degrade more gracefully than
+    minimal ones. Experiment E18 reports exactly that. *)
+
+type strategy = {
+  name : string;
+  build : Rs_graph.Graph.t -> Rs_graph.Edge_set.t;
+      (** recomputed at each refresh from the current topology *)
+}
+
+type report = {
+  name : string;
+  steps : int;
+  pairs_attempted : int;
+  delivered : int;
+  mean_stretch : float;  (** over delivered packets *)
+  mean_advertised : float;  (** average |E(H)| across refreshes *)
+  link_changes : int;  (** total UDG edge flips over the run *)
+}
+
+val run :
+  Rs_graph.Rand.t ->
+  model:Waypoint.t ->
+  strategies:strategy list ->
+  steps:int ->
+  refresh:int ->
+  pairs_per_step:int ->
+  report list
+(** Drive the mobility model [steps] steps. Every [refresh] steps each
+    strategy rebuilds its H from the current graph. Every step,
+    [pairs_per_step] random connected source/destination pairs are
+    routed per strategy over the stale advertisement (pairs are drawn
+    once per step and shared across strategies — the comparison is
+    paired). Greedy forwarding runs on H' = (H ∩ current edges) plus
+    the forwarding node's current links; a routing loop or dead end is
+    a loss. *)

@@ -1,0 +1,79 @@
+module Rand = Rs_graph.Rand
+
+type node = {
+  mutable x : float;
+  mutable y : float;
+  mutable wx : float;
+  mutable wy : float;
+  mutable speed : float;
+  mutable pausing : int;
+}
+
+type t = {
+  rand : Rand.t;
+  side : float;
+  speed_min : float;
+  speed_max : float;
+  pause : int;
+  nodes : node array;
+}
+
+let draw_speed t = t.speed_min +. Rand.float t.rand (t.speed_max -. t.speed_min +. 1e-12)
+
+let new_leg t node =
+  node.wx <- Rand.float t.rand t.side;
+  node.wy <- Rand.float t.rand t.side;
+  node.speed <- draw_speed t
+
+let create rand ~n ~side ~speed_min ~speed_max ~pause =
+  if speed_min < 0.0 || speed_max < speed_min then
+    invalid_arg "Waypoint.create: need 0 <= speed_min <= speed_max";
+  if pause < 0 then invalid_arg "Waypoint.create: negative pause";
+  if side <= 0.0 then invalid_arg "Waypoint.create: side <= 0";
+  let t =
+    {
+      rand;
+      side;
+      speed_min;
+      speed_max;
+      pause;
+      nodes =
+        Array.init n (fun _ ->
+            { x = 0.0; y = 0.0; wx = 0.0; wy = 0.0; speed = 0.0; pausing = 0 });
+    }
+  in
+  Array.iter
+    (fun node ->
+      node.x <- Rand.float rand side;
+      node.y <- Rand.float rand side;
+      new_leg t node)
+    t.nodes;
+  t
+
+let n t = Array.length t.nodes
+
+let positions t = Array.map (fun node -> [| node.x; node.y |]) t.nodes
+
+let step t =
+  Array.iter
+    (fun node ->
+      if node.pausing > 0 then begin
+        node.pausing <- node.pausing - 1;
+        if node.pausing = 0 then new_leg t node
+      end
+      else begin
+        let dx = node.wx -. node.x and dy = node.wy -. node.y in
+        let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+        if dist <= node.speed then begin
+          node.x <- node.wx;
+          node.y <- node.wy;
+          if t.pause > 0 then node.pausing <- t.pause else new_leg t node
+        end
+        else begin
+          node.x <- node.x +. (node.speed *. dx /. dist);
+          node.y <- node.y +. (node.speed *. dy /. dist)
+        end
+      end)
+    t.nodes
+
+let graph ?(radius = 1.0) t = Rs_geometry.Unit_ball.udg ~radius (positions t)

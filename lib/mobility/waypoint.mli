@@ -1,0 +1,35 @@
+(** Random waypoint mobility (the standard MANET churn model).
+
+    Each node picks a uniform destination in the square, moves toward
+    it at a uniform-random speed, pauses on arrival, then repeats.
+    Time advances in unit steps; all randomness flows through the
+    seeded generator, so runs are reproducible. *)
+
+type t
+
+val create :
+  Rs_graph.Rand.t ->
+  n:int ->
+  side:float ->
+  speed_min:float ->
+  speed_max:float ->
+  pause:int ->
+  t
+(** [create rand ~n ~side ~speed_min ~speed_max ~pause]: [n] nodes
+    uniform in [\[0, side\]^2]; speeds per leg uniform in
+    [\[speed_min, speed_max\]] (distance units per step); [pause]
+    steps of rest at each waypoint. Requires
+    [0 <= speed_min <= speed_max] and [pause >= 0]. *)
+
+val n : t -> int
+
+val positions : t -> Rs_geometry.Point.t array
+(** Current positions (fresh copy; safe to retain). *)
+
+val step : t -> unit
+(** Advance one time unit: move every node toward its waypoint
+    (arriving exactly on it rather than overshooting), tick pause
+    counters, draw new waypoints as needed. *)
+
+val graph : ?radius:float -> t -> Rs_graph.Graph.t
+(** Unit disk graph of the current positions (radius defaults to 1). *)

@@ -1,0 +1,37 @@
+(** Multi-path routing over k-connecting remote-spanners.
+
+    The paper motivates k-connecting remote-spanners by reliability
+    and multi-path routing (Section 1): a source that knows H plus its
+    own links can compute k internally disjoint routes whose total
+    length is bounded by the k-connecting stretch, and a single node
+    failure can kill at most one of them. This module computes those
+    routes and runs the failure experiment. *)
+
+open Rs_graph
+
+type t
+
+val make : Graph.t -> Edge_set.t -> t
+(** Same inputs as {!Link_state.make}. *)
+
+val disjoint_routes : t -> k:int -> src:int -> dst:int -> Path.t list option
+(** [disjoint_routes t ~k ~src ~dst]: [k] internally vertex-disjoint
+    src-dst routes of minimum total length in [H_src] (min-cost flow),
+    or [None] when fewer than [k] exist there. All routes are real
+    paths of the underlying graph. *)
+
+type failure_report = {
+  trials : int;  (** experiments run *)
+  primary_hit : int;  (** trials where the failed node lay on the primary route *)
+  backup_survived : int;  (** of those, trials where the backup avoided it *)
+  total_detour : int;  (** extra hops of backups over primaries, summed *)
+}
+
+val failure_experiment :
+  Rand.t -> t -> trials:int -> failure_report
+(** Repeatedly: draw a non-adjacent 2-connected (in H_src) pair, take
+    its two disjoint routes, fail a uniform internal node of the
+    primary (shorter) route, and check the backup still avoids it. By
+    internal disjointness [backup_survived = primary_hit] always; the
+    experiment exists to demonstrate it and to measure the detour
+    cost. Trials that fail to find an eligible pair are not counted. *)

@@ -1,0 +1,78 @@
+open Rs_graph
+module Mpr = Rs_core.Mpr
+
+type t = {
+  g : Graph.t;
+  mprs : int list array;
+  selectors : int list array;
+  advertised : Edge_set.t;
+}
+
+let make g =
+  let n = Graph.n g in
+  let mprs = Array.init n (fun u -> Mpr.select g u) in
+  let selectors = Array.make n [] in
+  Array.iteri (fun u relays -> List.iter (fun x -> selectors.(x) <- u :: selectors.(x)) relays) mprs;
+  Array.iteri (fun x sel -> selectors.(x) <- List.sort compare sel) selectors;
+  let advertised = Edge_set.create g in
+  Array.iteri
+    (fun x sel -> List.iter (fun u -> Edge_set.add advertised x u) sel)
+    selectors;
+  { g; mprs; selectors; advertised }
+
+let mpr_of t u = t.mprs.(u)
+let selectors_of t x = t.selectors.(x)
+
+let tc_originators t =
+  let acc = ref [] in
+  Array.iteri (fun x sel -> if sel <> [] then acc := x :: !acc) t.selectors;
+  List.rev !acc
+
+let advertised t = t.advertised
+
+type overhead = {
+  hello_entries : int;
+  tc_messages : int;
+  tc_entries : int;
+  tc_flood_retx : int;
+  full_ls_messages : int;
+  full_ls_entries : int;
+  full_flood_retx : int;
+}
+
+let control_overhead t =
+  let n = Graph.n t.g in
+  let hello_entries = Graph.fold_vertices (fun acc u -> acc + Graph.degree t.g u) 0 t.g in
+  let originators = tc_originators t in
+  let tc_entries =
+    List.fold_left (fun acc x -> acc + List.length t.selectors.(x)) 0 originators
+  in
+  let relays u = t.mprs.(u) in
+  let tc_flood_retx =
+    List.fold_left
+      (fun acc x -> acc + (Mpr.flood t.g ~relays ~src:x).Mpr.retransmissions)
+      0 originators
+  in
+  let full_flood_retx =
+    let acc = ref 0 in
+    for u = 0 to n - 1 do
+      acc := !acc + (Mpr.blind_flood t.g ~src:u).Mpr.retransmissions
+    done;
+    !acc
+  in
+  {
+    hello_entries;
+    tc_messages = List.length originators;
+    tc_entries;
+    tc_flood_retx;
+    full_ls_messages = n;
+    full_ls_entries = 2 * Graph.m t.g;
+    full_flood_retx;
+  }
+
+let routing_exact t =
+  let ls = Link_state.make t.g t.advertised in
+  let report = Link_state.measure_stretch ls in
+  report.Link_state.delivered = report.Link_state.pairs
+  && report.Link_state.worst_add = 0
+  && report.Link_state.worst_mult <= 1.0 +. 1e-9

@@ -1,0 +1,54 @@
+(** A compact OLSR control-plane model (RFC 3626, §1 of the paper).
+
+    OLSR's optimization is double: only multipoint relays {e forward}
+    floods, and only MPR-{e selected} nodes {e originate} topology
+    control (TC) messages, each advertising just its selector links.
+    The union of advertised links is exactly the multipoint-relay
+    sub-graph — a (1,0)-remote-spanner by the paper's Proposition 5
+    (k = 1) — so every node still computes shortest routes from its
+    partial view plus its own neighborhood.
+
+    This module wires those pieces (selection, selector sets, TC
+    origination, MPR flooding, routing) together and accounts for the
+    control traffic, so experiments can compare OLSR's economics
+    against full link-state flooding on the same topology. *)
+
+open Rs_graph
+
+type t
+
+val make : Graph.t -> t
+(** Run MPR selection (greedy) for every node and derive selector
+    sets. *)
+
+val mpr_of : t -> int -> int list
+(** The relays node [u] selected (sorted). *)
+
+val selectors_of : t -> int -> int list
+(** The nodes that selected [u] as a relay (sorted). *)
+
+val tc_originators : t -> int list
+(** Nodes with a non-empty selector set — the only TC sources. *)
+
+val advertised : t -> Edge_set.t
+(** Union of all TC-advertised links (selector links) — the network's
+    shared partial topology, equal to
+    [Mpr.relay_union g Mpr.select]. *)
+
+type overhead = {
+  hello_entries : int;  (** sum of neighbor-list sizes (per period) *)
+  tc_messages : int;  (** TC originators *)
+  tc_entries : int;  (** total advertised selector links *)
+  tc_flood_retx : int;  (** MPR-flooding retransmissions to spread all TCs *)
+  full_ls_messages : int;  (** every node originates under plain LS *)
+  full_ls_entries : int;  (** 2m entries *)
+  full_flood_retx : int;  (** blind-flooding retransmissions for all LSAs *)
+}
+
+val control_overhead : t -> overhead
+(** One period's control traffic, OLSR vs plain link-state. *)
+
+val routing_exact : t -> bool
+(** Do all greedy routes over the advertised sub-graph equal shortest
+    paths (they must — the advertised graph is a
+    (1,0)-remote-spanner)? O(n^2 · m): small graphs. *)

@@ -1,0 +1,179 @@
+type instance = { universe : int; sets : int array array }
+
+let validate inst =
+  Array.iter
+    (Array.iter (fun e ->
+         if e < 0 || e >= inst.universe then invalid_arg "Setcover: element out of range"))
+    inst.sets
+
+let demand_cap inst =
+  validate inst;
+  let cap = Array.make inst.universe 0 in
+  Array.iter
+    (fun set ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun e ->
+          if not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            cap.(e) <- cap.(e) + 1
+          end)
+        set)
+    inst.sets;
+  cap
+
+(* Residual coverage of a set: elements it contains whose demand is
+   still positive, counting each element once. *)
+let residual inst demand set_id used =
+  if used.(set_id) then -1
+  else begin
+    let seen = Hashtbl.create 8 in
+    let count = ref 0 in
+    Array.iter
+      (fun e ->
+        if demand.(e) > 0 && not (Hashtbl.mem seen e) then begin
+          Hashtbl.replace seen e ();
+          incr count
+        end)
+      inst.sets.(set_id);
+    !count
+  end
+
+let greedy_with_demand inst demand =
+  let nsets = Array.length inst.sets in
+  let used = Array.make nsets false in
+  let total = ref (Array.fold_left ( + ) 0 demand) in
+  let picks = ref [] in
+  while !total > 0 do
+    let best = ref (-1) and best_cov = ref 0 in
+    for s = 0 to nsets - 1 do
+      let c = residual inst demand s used in
+      if c > !best_cov then begin
+        best := s;
+        best_cov := c
+      end
+    done;
+    if !best < 0 then total := 0 (* residual demands unsatisfiable; done *)
+    else begin
+      used.(!best) <- true;
+      picks := !best :: !picks;
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun e ->
+          if demand.(e) > 0 && not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            demand.(e) <- demand.(e) - 1;
+            decr total
+          end)
+        inst.sets.(!best)
+    end
+  done;
+  List.rev !picks
+
+let greedy_multicover inst ~k =
+  if k < 1 then invalid_arg "Setcover.greedy_multicover: k < 1";
+  let cap = demand_cap inst in
+  let demand = Array.map (fun c -> min k c) cap in
+  greedy_with_demand inst demand
+
+let greedy inst = greedy_multicover inst ~k:1
+
+let is_cover inst ~k picks =
+  let cap = demand_cap inst in
+  let covered = Array.make inst.universe 0 in
+  List.iter
+    (fun s ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun e ->
+          if not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            covered.(e) <- covered.(e) + 1
+          end)
+        inst.sets.(s))
+    picks;
+  let ok = ref true in
+  for e = 0 to inst.universe - 1 do
+    if covered.(e) < min k cap.(e) then ok := false
+  done;
+  !ok
+
+let exact ?(limit = 10_000_000) inst ~k =
+  if k < 1 then invalid_arg "Setcover.exact: k < 1";
+  validate inst;
+  let nsets = Array.length inst.sets in
+  let cap = demand_cap inst in
+  let demand = Array.map (fun c -> min k c) cap in
+  (* sets containing each element *)
+  let containing = Array.make inst.universe [] in
+  Array.iteri
+    (fun s set ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun e ->
+          if not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            containing.(e) <- s :: containing.(e)
+          end)
+        set)
+    inst.sets;
+  let max_set_size =
+    Array.fold_left (fun acc s -> max acc (Array.length s)) 1 inst.sets
+  in
+  let best = ref None in
+  let best_size = ref max_int in
+  let nodes = ref 0 in
+  let used = Array.make nsets false in
+  let exhausted = ref false in
+  let rec branch picked npicked total_demand =
+    incr nodes;
+    if !nodes > limit then exhausted := true
+    else if total_demand = 0 then begin
+      if npicked < !best_size then begin
+        best_size := npicked;
+        best := Some (List.rev picked)
+      end
+    end
+    else begin
+      (* lower bound: each further set satisfies <= max_set_size demand units *)
+      let lb = npicked + ((total_demand + max_set_size - 1) / max_set_size) in
+      if lb < !best_size then begin
+        (* branch on the unmet element with fewest unused options *)
+        let pivot = ref (-1) and options = ref max_int in
+        for e = 0 to inst.universe - 1 do
+          if demand.(e) > 0 then begin
+            let avail = List.length (List.filter (fun s -> not used.(s)) containing.(e)) in
+            if avail < !options then begin
+              options := avail;
+              pivot := e
+            end
+          end
+        done;
+        if !pivot >= 0 && !options > 0 && !options < max_int then begin
+          let choices = List.filter (fun s -> not used.(s)) containing.(!pivot) in
+          List.iter
+            (fun s ->
+              if not !exhausted then begin
+                used.(s) <- true;
+                let seen = Hashtbl.create 8 in
+                let delta = ref 0 in
+                Array.iter
+                  (fun e ->
+                    if demand.(e) > 0 && not (Hashtbl.mem seen e) then begin
+                      Hashtbl.replace seen e ();
+                      demand.(e) <- demand.(e) - 1;
+                      incr delta
+                    end)
+                  inst.sets.(s);
+                branch (s :: picked) (npicked + 1) (total_demand - !delta);
+                Hashtbl.iter (fun e () -> demand.(e) <- demand.(e) + 1) seen;
+                used.(s) <- false
+              end)
+            choices
+        end
+      end
+    end
+  in
+  let total = Array.fold_left ( + ) 0 demand in
+  branch [] 0 total;
+  if !exhausted then None else !best

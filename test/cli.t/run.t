@@ -1,0 +1,55 @@
+End-to-end CLI workflow: generate, build, verify, inspect, route.
+
+  $ rspan gen --family udg -n 60 --seed 3 --coords pts.xy -o g.txt
+  generated: n=60 m=322
+
+  $ rspan stats g.txt
+  n=60 m=322
+  degree: max=21 avg=10.73 min=1
+  components=1 diameter=7
+
+  $ rspan build --algo exact g.txt -o h.txt
+  spanner: 170 of 322 edges (52.8%)
+
+  $ rspan verify --alpha 1 --beta 0 g.txt h.txt
+  OK: (1, 0)-remote-spanner
+
+A (1,0)-remote-spanner routes exactly; a broken spanner is rejected
+with concrete violations.
+
+  $ rspan build --algo bfs-tree g.txt -o tree.txt
+  spanner: 59 of 322 edges (18.3%)
+
+  $ rspan verify --alpha 1 --beta 0 g.txt tree.txt
+  violation: (1 -> 2: d_G=4, d_Hu=5)
+  violation: (1 -> 4: d_G=4, d_Hu=6)
+  violation: (1 -> 5: d_G=4, d_Hu=7)
+  violation: (1 -> 7: d_G=5, d_Hu=7)
+  violation: (1 -> 8: d_G=2, d_Hu=5)
+  rspan: stretch violated
+  [124]
+
+k-connecting verification via min-cost flow, vertex- and edge-disjoint.
+
+  $ rspan build --algo two-connecting g.txt -o h2.txt
+  spanner: 253 of 322 edges (78.6%)
+
+  $ rspan verify --alpha 2 --beta=-1 -k 2 g.txt h2.txt
+  OK: (2, -1)-remote-spanner (2-connecting)
+
+Deterministic generation: same seed, same graph.
+
+  $ rspan gen --family gnp -n 30 --seed 9 -o a.txt
+  generated: n=30 m=40
+  $ rspan gen --family gnp -n 30 --seed 9 -o b.txt
+  generated: n=30 m=40
+  $ cmp a.txt b.txt
+
+Families and error handling.
+
+  $ rspan gen --family theta -n 12 -k 3 -o t.txt
+  generated: n=14 m=15
+
+  $ rspan verify --alpha 1 --beta 0 g.txt missing.txt
+  rspan: missing.txt: No such file or directory
+  [124]

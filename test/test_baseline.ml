@@ -1,0 +1,155 @@
+(* Tests for baseline spanner constructions. *)
+open Rs_graph
+open Rs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let udg seed n =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. 4.0) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  Rs_geometry.Unit_ball.udg pts
+
+let graphs =
+  [
+    ("petersen", Gen.petersen ());
+    ("grid45", Gen.grid 4 5);
+    ("udg", udg 101 60);
+    ("er", Gen.erdos_renyi (Rand.create 103) 40 0.2);
+    ("hypercube4", Gen.hypercube 4);
+  ]
+
+let test_full_is_everything () =
+  let g = Gen.petersen () in
+  check_int "all edges" (Graph.m g) (Edge_set.cardinal (Baseline.full g))
+
+let test_bfs_tree_spanning () =
+  List.iter
+    (fun (name, g) ->
+      let h = Baseline.bfs_tree g ~root:0 in
+      let comps = Connectivity.component_count g in
+      check_int (name ^ " n-comps edges") (Graph.n g - comps) (Edge_set.cardinal h);
+      (* same reachability *)
+      let hg = Edge_set.to_graph h in
+      check_int (name ^ " comps") comps (Connectivity.component_count hg))
+    (("two_comps", Graph.make ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5) ]) :: graphs)
+
+let test_bfs_tree_preserves_root_distances () =
+  let g = Gen.petersen () in
+  let h = Baseline.bfs_tree g ~root:0 in
+  let adj = Edge_set.to_adjacency h in
+  let dg = Bfs.dist g 0 and dh = Bfs.dist_adj adj 0 in
+  Alcotest.(check (array int)) "root distances" dg dh
+
+let test_greedy_spanner_stretch () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let h = Baseline.greedy_spanner g ~k in
+          check
+            (Printf.sprintf "%s k=%d" name k)
+            true
+            (Baseline.is_spanner g h ~alpha:(float_of_int ((2 * k) - 1)) ~beta:0.0))
+        [ 1; 2; 3 ])
+    graphs
+
+let test_greedy_spanner_k1_is_full () =
+  let g = Gen.petersen () in
+  check_int "k=1 keeps all" (Graph.m g) (Edge_set.cardinal (Baseline.greedy_spanner g ~k:1))
+
+let test_greedy_spanner_girth_bound () =
+  (* kept sub-graph has girth > 2k, so at most n^(1+1/k) + n edges *)
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let h = Baseline.greedy_spanner g ~k in
+          let n = float_of_int (Graph.n g) in
+          let bound = (n ** (1.0 +. (1.0 /. float_of_int k))) +. n in
+          check
+            (Printf.sprintf "%s k=%d size" name k)
+            true
+            (float_of_int (Edge_set.cardinal h) <= bound))
+        [ 2; 3 ])
+    graphs
+
+let test_greedy_spanner_remote_adapter () =
+  (* any (a,b)-spanner is an (a,b)-remote-spanner: same edge set *)
+  List.iter
+    (fun (name, g) ->
+      let h = Baseline.greedy_spanner g ~k:2 in
+      check (name ^ " remote") true (Verify.is_remote_spanner g h ~alpha:3.0 ~beta:0.0))
+    graphs
+
+let test_baswana_sen_stretch () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun seed ->
+              let h = Baseline.baswana_sen (Rand.create seed) g ~k in
+              check
+                (Printf.sprintf "%s k=%d seed=%d" name k seed)
+                true
+                (Baseline.is_spanner g h ~alpha:(float_of_int ((2 * k) - 1)) ~beta:0.0))
+            [ 1; 2; 3 ])
+        [ 2; 3 ])
+    graphs
+
+let test_baswana_sen_k1 () =
+  let g = Gen.petersen () in
+  let h = Baseline.baswana_sen (Rand.create 1) g ~k:1 in
+  check "k=1 keeps all edges" true (Baseline.is_spanner g h ~alpha:1.0 ~beta:0.0)
+
+let test_additive2_stretch () =
+  List.iter
+    (fun (name, g) ->
+      let h = Baseline.additive2 g in
+      check (name ^ " (1,2)") true (Baseline.is_spanner g h ~alpha:1.0 ~beta:2.0))
+    graphs
+
+let test_additive2_on_dense () =
+  let g = Gen.erdos_renyi (Rand.create 105) 60 0.5 in
+  let h = Baseline.additive2 g in
+  check "(1,2) dense" true (Baseline.is_spanner g h ~alpha:1.0 ~beta:2.0);
+  check "sparser" true (Edge_set.cardinal h < Graph.m g)
+
+let test_is_spanner_negative () =
+  let g = Gen.cycle 8 in
+  let h = Edge_set.create g in
+  Edge_set.add h 0 1;
+  check "not a spanner" false (Baseline.is_spanner g h ~alpha:1.0 ~beta:0.0);
+  check "tree is (n,0)" true
+    (Baseline.is_spanner g (Baseline.bfs_tree g ~root:0) ~alpha:7.0 ~beta:0.0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "trivial",
+        [
+          Alcotest.test_case "full" `Quick test_full_is_everything;
+          Alcotest.test_case "bfs tree spanning" `Quick test_bfs_tree_spanning;
+          Alcotest.test_case "bfs tree root distances" `Quick test_bfs_tree_preserves_root_distances;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "stretch" `Quick test_greedy_spanner_stretch;
+          Alcotest.test_case "k=1 full" `Quick test_greedy_spanner_k1_is_full;
+          Alcotest.test_case "girth size bound" `Quick test_greedy_spanner_girth_bound;
+          Alcotest.test_case "remote adapter" `Quick test_greedy_spanner_remote_adapter;
+        ] );
+      ( "baswana_sen",
+        [
+          Alcotest.test_case "stretch" `Quick test_baswana_sen_stretch;
+          Alcotest.test_case "k=1" `Quick test_baswana_sen_k1;
+        ] );
+      ( "additive2",
+        [
+          Alcotest.test_case "stretch" `Quick test_additive2_stretch;
+          Alcotest.test_case "dense graph" `Quick test_additive2_on_dense;
+          Alcotest.test_case "is_spanner negative" `Quick test_is_spanner_negative;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the LOCAL-model simulator. *)
+open Rs_graph
+module Sim = Rs_distributed.Sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A trivial protocol: each node sends its id once; state = ids heard. *)
+let hello_protocol g =
+  {
+    Sim.init =
+      (fun u ->
+        ([], Array.to_list (Array.map (fun v -> (v, u)) (Graph.neighbors g u))));
+    step = (fun _u heard ~inbox -> (List.map snd inbox @ heard, []));
+    halted = (fun _ -> true);
+    msg_size = (fun _ -> 1);
+  }
+
+let test_hello_learns_neighbors () =
+  let g = Gen.cycle 5 in
+  let states, stats = Sim.run g (hello_protocol g) ~max_rounds:5 in
+  check_int "one round" 1 stats.Sim.rounds;
+  check_int "messages = 2m" (2 * Graph.m g) stats.Sim.messages;
+  Array.iteri
+    (fun u heard ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d" u)
+        (Array.to_list (Graph.neighbors g u))
+        (List.sort compare heard))
+    states
+
+let test_send_to_non_neighbor_rejected () =
+  let g = Gen.path_graph 3 in
+  let bad =
+    {
+      Sim.init = (fun u -> ((), if u = 0 then [ (2, ()) ] else []));
+      step = (fun _ s ~inbox:_ -> (s, []));
+      halted = (fun _ -> true);
+      msg_size = (fun _ -> 0);
+    }
+  in
+  check "rejected" true
+    (match Sim.run g bad ~max_rounds:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_max_rounds_cutoff () =
+  let g = Gen.cycle 4 in
+  (* ping-pong forever *)
+  let chatty =
+    {
+      Sim.init = (fun u -> ((), [ ((u + 1) mod 4, ()) ]));
+      step = (fun u () ~inbox:_ -> ((), [ ((u + 1) mod 4, ()) ]));
+      halted = (fun _ -> false);
+      msg_size = (fun _ -> 1);
+    }
+  in
+  let _, stats = Sim.run g chatty ~max_rounds:7 in
+  check_int "cut" 7 stats.Sim.rounds
+
+let dist_of_view g u view =
+  (* recompute u's eccentricity knowledge from its collected edges *)
+  let module M = Map.Make (Int) in
+  ignore g;
+  ignore u;
+  Array.length view
+
+let test_collect_radius0 () =
+  let g = Gen.petersen () in
+  let views, stats = Sim.collect_neighborhoods g ~radius:0 in
+  check_int "no rounds" 0 stats.Sim.rounds;
+  check_int "no messages" 0 stats.Sim.messages;
+  Array.iteri
+    (fun u view -> check_int (Printf.sprintf "own edges %d" u) (Graph.degree g u) (dist_of_view g u view))
+    views
+
+let test_collect_radius1_knows_neighbors_edges () =
+  let g = Gen.cycle 6 in
+  let views, stats = Sim.collect_neighborhoods g ~radius:1 in
+  check_int "rounds" 1 stats.Sim.rounds;
+  (* each node sees edges incident to its closed neighborhood: on a
+     cycle that is 4 edges *)
+  Array.iter (fun view -> check_int "4 edges" 4 (Array.length view)) views
+
+let test_collect_covers_ball () =
+  let g = Gen.grid 4 5 in
+  let radius = 2 in
+  let views, _ = Sim.collect_neighborhoods g ~radius in
+  Graph.iter_vertices
+    (fun u ->
+      let d = Bfs.dist g u in
+      (* every edge with an endpoint within distance radius must be known *)
+      let known = Hashtbl.create 64 in
+      Array.iter (fun (a, b, _) -> Hashtbl.replace known (a, b) ()) views.(u);
+      Graph.iter_edges
+        (fun a b ->
+          if min d.(a) d.(b) <= radius then
+            check (Printf.sprintf "edge %d-%d known by %d" a b u) true
+              (Hashtbl.mem known (a, b)))
+        g)
+    g
+
+let test_collect_rounds_learned_are_tight () =
+  let g = Gen.path_graph 7 in
+  let views, _ = Sim.collect_neighborhoods g ~radius:3 in
+  (* node 0: the edge (3,4) is incident to node 3 at distance 3 and is
+     learned exactly at round 3 *)
+  let found = ref (-1) in
+  Array.iter (fun (a, b, r) -> if (a, b) = (3, 4) then found := r) views.(0);
+  check_int "learned in round 3" 3 !found
+
+let test_collect_whole_graph_when_radius_large () =
+  let g = Gen.petersen () in
+  let views, _ = Sim.collect_neighborhoods g ~radius:4 in
+  Array.iter (fun view -> check_int "all edges" (Graph.m g) (Array.length view)) views
+
+let test_collect_stats_scale_with_radius () =
+  let g = Gen.grid 5 5 in
+  let _, s1 = Sim.collect_neighborhoods g ~radius:1 in
+  let _, s2 = Sim.collect_neighborhoods g ~radius:2 in
+  check "more traffic at radius 2" true (s2.Sim.messages > s1.Sim.messages);
+  check "payload grows" true (s2.Sim.payload > s1.Sim.payload)
+
+let test_rounds_independent_of_n () =
+  (* the "constant time" shape: rounds depend on the radius only *)
+  let rounds n =
+    let g = Gen.cycle n in
+    let _, stats = Sim.collect_neighborhoods g ~radius:2 in
+    stats.Sim.rounds
+  in
+  check_int "n=10" (rounds 10) (rounds 50);
+  check_int "n=50" (rounds 50) (rounds 200)
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "hello exchanges ids" `Quick test_hello_learns_neighbors;
+          Alcotest.test_case "non-neighbor send rejected" `Quick test_send_to_non_neighbor_rejected;
+          Alcotest.test_case "max_rounds cutoff" `Quick test_max_rounds_cutoff;
+        ] );
+      ( "collect",
+        [
+          Alcotest.test_case "radius 0" `Quick test_collect_radius0;
+          Alcotest.test_case "radius 1" `Quick test_collect_radius1_knows_neighbors_edges;
+          Alcotest.test_case "covers the ball" `Quick test_collect_covers_ball;
+          Alcotest.test_case "round labels tight" `Quick test_collect_rounds_learned_are_tight;
+          Alcotest.test_case "large radius = whole graph" `Quick test_collect_whole_graph_when_radius_large;
+          Alcotest.test_case "traffic grows with radius" `Quick test_collect_stats_scale_with_radius;
+          Alcotest.test_case "rounds independent of n" `Quick test_rounds_independent_of_n;
+        ] );
+    ]

@@ -1,0 +1,316 @@
+(* Tests for min-cost flow, disjoint paths, connectivity, matching. *)
+open Rs_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Mincost_flow *)
+
+let test_flow_simple_path () =
+  let net = Mincost_flow.create 3 in
+  Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:1 ~cost:2;
+  Mincost_flow.add_arc net ~src:1 ~dst:2 ~cap:1 ~cost:3;
+  Alcotest.(check (list int)) "one unit cost 5" [ 5 ]
+    (Mincost_flow.min_cost_units net ~s:0 ~t_:2 ~max_units:4)
+
+let test_flow_picks_cheaper_path_first () =
+  let net = Mincost_flow.create 4 in
+  Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:1 ~cost:1;
+  Mincost_flow.add_arc net ~src:1 ~dst:3 ~cap:1 ~cost:1;
+  Mincost_flow.add_arc net ~src:0 ~dst:2 ~cap:1 ~cost:5;
+  Mincost_flow.add_arc net ~src:2 ~dst:3 ~cap:1 ~cost:5;
+  Alcotest.(check (list int)) "2 then 10" [ 2; 10 ]
+    (Mincost_flow.min_cost_units net ~s:0 ~t_:3 ~max_units:3)
+
+let test_flow_needs_rerouting () =
+  (* Classic case where the second augmentation must push flow back:
+     0->1 (c0), 1->3 (c0), 0->2 (c1), 2->3 (c1), and a middle arc
+     1->2 (c0). First unit greedily goes 0-1-2-3? No: costs make
+     0-1-3 cost 0 first, then second must use 0-2-3 cost 2. With the
+     middle arc the optimum stays the same, but a naive path search
+     without residuals would fail on:
+     0->1 cap1 c0 ; 1->3 cap1 c0 ; 0->2 cap1 c0 ; 2->3 cap1 c0;
+     1->2 cap1 c0 when first path is forced through 1->2. *)
+  let net = Mincost_flow.create 4 in
+  Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:1 ~cost:0;
+  Mincost_flow.add_arc net ~src:1 ~dst:2 ~cap:1 ~cost:0;
+  Mincost_flow.add_arc net ~src:2 ~dst:3 ~cap:1 ~cost:0;
+  Mincost_flow.add_arc net ~src:1 ~dst:3 ~cap:1 ~cost:3;
+  Mincost_flow.add_arc net ~src:0 ~dst:2 ~cap:1 ~cost:3;
+  let units = Mincost_flow.min_cost_units net ~s:0 ~t_:3 ~max_units:2 in
+  check_int "both units" 2 (List.length units);
+  check_int "total cost 6" 6 (List.fold_left ( + ) 0 units)
+
+let test_flow_saturates () =
+  let net = Mincost_flow.create 2 in
+  Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:2 ~cost:1;
+  Alcotest.(check (list int)) "cap 2" [ 1; 1 ]
+    (Mincost_flow.min_cost_units net ~s:0 ~t_:1 ~max_units:5)
+
+let test_flow_disconnected () =
+  let net = Mincost_flow.create 3 in
+  Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:1 ~cost:1;
+  Alcotest.(check (list int)) "none" []
+    (Mincost_flow.min_cost_units net ~s:0 ~t_:2 ~max_units:1)
+
+let test_flow_monotone_unit_costs () =
+  (* successive augmentations have non-decreasing real cost *)
+  let rand = Rand.create 5 in
+  for _trial = 1 to 20 do
+    let n = 8 in
+    let net = Mincost_flow.create n in
+    for _ = 1 to 20 do
+      let a = Rand.int rand n and b = Rand.int rand n in
+      if a <> b then Mincost_flow.add_arc net ~src:a ~dst:b ~cap:1 ~cost:(Rand.int rand 5)
+    done;
+    let units = Mincost_flow.min_cost_units net ~s:0 ~t_:(n - 1) ~max_units:4 in
+    let rec mono = function
+      | a :: (b :: _ as rest) -> a <= b && mono rest
+      | _ -> true
+    in
+    check "monotone" true (mono units)
+  done
+
+let test_flow_on_and_arcs () =
+  let net = Mincost_flow.create 3 in
+  Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:2 ~cost:1;
+  Mincost_flow.add_arc net ~src:1 ~dst:2 ~cap:1 ~cost:1;
+  Mincost_flow.add_arc net ~src:0 ~dst:2 ~cap:1 ~cost:5;
+  ignore (Mincost_flow.min_cost_units net ~s:0 ~t_:2 ~max_units:2);
+  check_int "arc 0 carries 1" 1 (Mincost_flow.flow_on net ~arc:0);
+  check_int "arc 1 carries 1" 1 (Mincost_flow.flow_on net ~arc:1);
+  check_int "arc 2 carries 1" 1 (Mincost_flow.flow_on net ~arc:2);
+  let with_flow = Mincost_flow.arcs_with_flow net in
+  check_int "three flowing arcs" 3 (List.length with_flow);
+  List.iter (fun (_, _, f) -> check "positive" true (f > 0)) with_flow
+
+let test_flow_rejects_negative () =
+  let net = Mincost_flow.create 2 in
+  check "negative cap" true
+    (match Mincost_flow.add_arc net ~src:0 ~dst:1 ~cap:(-1) ~cost:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "node range" true
+    (match Mincost_flow.add_arc net ~src:0 ~dst:5 ~cap:1 ~cost:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint_paths *)
+
+let theta34 = Gen.theta 3 4 (* 3 disjoint paths of length 5 between 0 and 1 *)
+
+let test_dk_theta () =
+  Alcotest.(check (option int)) "d1" (Some 5) (Disjoint_paths.dk theta34 ~k:1 0 1);
+  Alcotest.(check (option int)) "d2" (Some 10) (Disjoint_paths.dk theta34 ~k:2 0 1);
+  Alcotest.(check (option int)) "d3" (Some 15) (Disjoint_paths.dk theta34 ~k:3 0 1);
+  Alcotest.(check (option int)) "d4 absent" None (Disjoint_paths.dk theta34 ~k:4 0 1)
+
+let test_dk_profile_cycle () =
+  let c = Gen.cycle 7 in
+  (* between antipodal-ish nodes 0 and 3: paths of length 3 and 4 *)
+  let p = Disjoint_paths.dk_profile c ~kmax:3 0 3 in
+  Alcotest.(check (array int)) "profile" [| 3; 7 |] p
+
+let test_dk_adjacent_pair () =
+  let k4 = Gen.complete 4 in
+  (* adjacent s,t: direct edge, then 2 two-hop paths *)
+  let p = Disjoint_paths.dk_profile k4 ~kmax:3 0 1 in
+  Alcotest.(check (array int)) "k4 profile" [| 1; 3; 5 |] p
+
+let test_max_disjoint () =
+  check_int "theta" 3 (Disjoint_paths.max_disjoint theta34 0 1);
+  check_int "petersen" 3 (Disjoint_paths.max_disjoint (Gen.petersen ()) 0 7);
+  check_int "path" 1 (Disjoint_paths.max_disjoint (Gen.path_graph 5) 0 4);
+  let g = Graph.make ~n:4 [ (0, 1); (2, 3) ] in
+  check_int "disconnected" 0 (Disjoint_paths.max_disjoint g 0 3)
+
+let test_min_sum_paths_valid_and_disjoint () =
+  match Disjoint_paths.min_sum_paths theta34 ~k:3 0 1 with
+  | None -> Alcotest.fail "expected 3 paths"
+  | Some paths ->
+      check_int "three" 3 (List.length paths);
+      List.iter (fun p -> check "valid" true (Path.is_valid theta34 p)) paths;
+      List.iter
+        (fun p ->
+          check_int "src" 0 (Path.source p);
+          check_int "dst" 1 (Path.target p))
+        paths;
+      check "disjoint" true (Path.pairwise_disjoint paths);
+      check_int "total length 15" 15
+        (List.fold_left (fun acc p -> acc + Path.length p) 0 paths)
+
+let test_min_sum_paths_infeasible () =
+  check "infeasible" true (Disjoint_paths.min_sum_paths (Gen.path_graph 4) ~k:2 0 3 = None)
+
+let test_dk_vs_bruteforce_small () =
+  (* d^1 must equal BFS distance on assorted graphs *)
+  List.iter
+    (fun g ->
+      let n = Graph.n g in
+      for s = 0 to n - 1 do
+        for t = 0 to n - 1 do
+          if s <> t then begin
+            let bfs = Bfs.dist_pair g s t in
+            let d1 = Disjoint_paths.dk g ~k:1 s t in
+            match d1 with
+            | None -> check_int "both unreachable" (-1) bfs
+            | Some d -> check_int "d1 = bfs" bfs d
+          end
+        done
+      done)
+    [ Gen.petersen (); Gen.cycle 5; Gen.grid 3 4; Gen.complete 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Connectivity *)
+
+let test_components () =
+  let g = Graph.make ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  let label = Connectivity.components g in
+  check "same comp" true (label.(0) = label.(2));
+  check "diff comp" true (label.(0) <> label.(3));
+  check_int "count" 2 (Connectivity.component_count g)
+
+let test_is_connected () =
+  check "cycle" true (Connectivity.is_connected (Gen.cycle 4));
+  check "empty graph" true (Connectivity.is_connected (Gen.empty 0));
+  check "single" true (Connectivity.is_connected (Gen.empty 1));
+  check "two isolated" false (Connectivity.is_connected (Gen.empty 2))
+
+let test_pair_connectivity_petersen () =
+  (* Petersen graph is 3-connected *)
+  let g = Gen.petersen () in
+  Graph.iter_vertices
+    (fun s ->
+      Graph.iter_vertices
+        (fun t ->
+          if s < t && not (Graph.mem_edge g s t) then
+            check_int "3-connected" 3 (Connectivity.pair_connectivity g s t))
+        g)
+    g
+
+let test_k_connected_pair () =
+  check "2-conn cycle" true (Connectivity.is_k_connected_pair (Gen.cycle 6) ~k:2 0 3);
+  check "not 3-conn cycle" false (Connectivity.is_k_connected_pair (Gen.cycle 6) ~k:3 0 3);
+  check "k=0 trivial" true (Connectivity.is_k_connected_pair (Gen.empty 2) ~k:0 0 1)
+
+let test_min_degree () =
+  check_int "path" 1 (Connectivity.min_degree (Gen.path_graph 4));
+  check_int "cycle" 2 (Connectivity.min_degree (Gen.cycle 5));
+  check_int "empty" 0 (Connectivity.min_degree (Gen.empty 3))
+
+let test_cut_vertices_basic () =
+  Alcotest.(check (list int)) "path internals" [ 1; 2; 3 ]
+    (Connectivity.cut_vertices (Gen.path_graph 5));
+  Alcotest.(check (list int)) "cycle none" [] (Connectivity.cut_vertices (Gen.cycle 6));
+  Alcotest.(check (list int)) "star center" [ 0 ] (Connectivity.cut_vertices (Gen.star 5));
+  Alcotest.(check (list int)) "petersen none" []
+    (Connectivity.cut_vertices (Gen.petersen ()));
+  (* bow-tie: two triangles sharing vertex 2 *)
+  let bowtie = Graph.make ~n:5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ] in
+  Alcotest.(check (list int)) "bowtie hinge" [ 2 ] (Connectivity.cut_vertices bowtie)
+
+let test_cut_vertices_barbell () =
+  (* barbell 4: bridge endpoints 3 and 4 are the articulation points *)
+  Alcotest.(check (list int)) "barbell" [ 3; 4 ] (Connectivity.cut_vertices (Gen.barbell 4))
+
+let test_cut_vertices_match_removal () =
+  (* brute-force cross-check: v is a cut vertex iff deleting it
+     increases the component count of its component *)
+  let rand = Rand.create 71 in
+  for _trial = 1 to 10 do
+    let g = Gen.erdos_renyi rand 14 0.18 in
+    let fast = Connectivity.cut_vertices g in
+    let slow =
+      Graph.fold_vertices
+        (fun acc v ->
+          if Graph.degree g v = 0 then acc
+          else begin
+            (* remove_vertex leaves v isolated: discount that one
+               component; v is an articulation point iff the rest
+               splits further *)
+            let g' = Graph.remove_vertex g v in
+            let before = Connectivity.component_count g in
+            let after = Connectivity.component_count g' - 1 in
+            if after > before then v :: acc else acc
+          end)
+        [] g
+    in
+    Alcotest.(check (list int)) "agree" (List.sort compare slow) fast
+  done
+
+let test_bridges () =
+  Alcotest.(check (list (pair int int))) "path all" [ (0, 1); (1, 2); (2, 3) ]
+    (Connectivity.bridges (Gen.path_graph 4));
+  Alcotest.(check (list (pair int int))) "cycle none" [] (Connectivity.bridges (Gen.cycle 5));
+  Alcotest.(check (list (pair int int))) "barbell bridge" [ (3, 4) ]
+    (Connectivity.bridges (Gen.barbell 4))
+
+(* ------------------------------------------------------------------ *)
+(* Matching *)
+
+let test_matching_perfect () =
+  let edges = [ (0, 0); (0, 1); (1, 1); (2, 2) ] in
+  check_int "size" 3 (Matching.matching_size ~left:3 ~right:3 edges)
+
+let test_matching_augmenting () =
+  (* requires an augmenting flip: 0-(0), 1-(0),(1) *)
+  let edges = [ (0, 0); (1, 0); (1, 1) ] in
+  check_int "size 2" 2 (Matching.matching_size ~left:2 ~right:2 edges)
+
+let test_matching_empty () =
+  check_int "empty" 0 (Matching.matching_size ~left:3 ~right:3 [])
+
+let test_matching_valid_pairs () =
+  let edges = [ (0, 1); (1, 0); (2, 1); (0, 2) ] in
+  let pairs = Matching.max_matching ~left:3 ~right:3 edges in
+  List.iter (fun (l, r) -> check "pair is an edge" true (List.mem (l, r) edges)) pairs;
+  let ls = List.map fst pairs and rs = List.map snd pairs in
+  check "left distinct" true (List.length ls = List.length (List.sort_uniq compare ls));
+  check "right distinct" true (List.length rs = List.length (List.sort_uniq compare rs))
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "mincost_flow",
+        [
+          Alcotest.test_case "simple path" `Quick test_flow_simple_path;
+          Alcotest.test_case "cheaper path first" `Quick test_flow_picks_cheaper_path_first;
+          Alcotest.test_case "rerouting via residuals" `Quick test_flow_needs_rerouting;
+          Alcotest.test_case "saturation" `Quick test_flow_saturates;
+          Alcotest.test_case "disconnected" `Quick test_flow_disconnected;
+          Alcotest.test_case "monotone unit costs" `Quick test_flow_monotone_unit_costs;
+          Alcotest.test_case "flow_on / arcs_with_flow" `Quick test_flow_on_and_arcs;
+          Alcotest.test_case "rejects bad arcs" `Quick test_flow_rejects_negative;
+        ] );
+      ( "disjoint_paths",
+        [
+          Alcotest.test_case "theta d^k" `Quick test_dk_theta;
+          Alcotest.test_case "cycle profile" `Quick test_dk_profile_cycle;
+          Alcotest.test_case "adjacent pair" `Quick test_dk_adjacent_pair;
+          Alcotest.test_case "max disjoint" `Quick test_max_disjoint;
+          Alcotest.test_case "paths valid+disjoint" `Quick test_min_sum_paths_valid_and_disjoint;
+          Alcotest.test_case "infeasible" `Quick test_min_sum_paths_infeasible;
+          Alcotest.test_case "d^1 = bfs" `Quick test_dk_vs_bruteforce_small;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "is_connected" `Quick test_is_connected;
+          Alcotest.test_case "petersen 3-connected" `Quick test_pair_connectivity_petersen;
+          Alcotest.test_case "k-connected pair" `Quick test_k_connected_pair;
+          Alcotest.test_case "min degree" `Quick test_min_degree;
+          Alcotest.test_case "cut vertices" `Quick test_cut_vertices_basic;
+          Alcotest.test_case "cut vertices barbell" `Quick test_cut_vertices_barbell;
+          Alcotest.test_case "cut vertices = removal test" `Quick test_cut_vertices_match_removal;
+          Alcotest.test_case "bridges" `Quick test_bridges;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "perfect" `Quick test_matching_perfect;
+          Alcotest.test_case "augmenting path" `Quick test_matching_augmenting;
+          Alcotest.test_case "empty" `Quick test_matching_empty;
+          Alcotest.test_case "valid pairs" `Quick test_matching_valid_pairs;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+(* Tests for graph generators and text/DOT serialization. *)
+open Rs_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_path () =
+  let g = Gen.path_graph 6 in
+  check_int "n" 6 (Graph.n g);
+  check_int "m" 5 (Graph.m g);
+  check_int "diameter" 5 (Bfs.diameter g)
+
+let test_path_tiny () =
+  check_int "n1" 0 (Graph.m (Gen.path_graph 1));
+  check_int "n0" 0 (Graph.n (Gen.path_graph 0))
+
+let test_cycle () =
+  let g = Gen.cycle 8 in
+  check_int "m" 8 (Graph.m g);
+  Graph.iter_vertices (fun v -> check_int "2-regular" 2 (Graph.degree g v)) g;
+  check "small cycle rejected" true
+    (match Gen.cycle 2 with _ -> false | exception Invalid_argument _ -> true)
+
+let test_complete () =
+  let g = Gen.complete 6 in
+  check_int "m" 15 (Graph.m g);
+  check_int "diam" 1 (Bfs.diameter g)
+
+let test_complete_bipartite () =
+  let g = Gen.complete_bipartite 3 4 in
+  check_int "m" 12 (Graph.m g);
+  check "no intra-left edge" false (Graph.mem_edge g 0 1);
+  check "cross edge" true (Graph.mem_edge g 0 3)
+
+let test_star () =
+  let g = Gen.star 7 in
+  check_int "m" 6 (Graph.m g);
+  check_int "center degree" 6 (Graph.degree g 0)
+
+let test_grid () =
+  let g = Gen.grid 3 4 in
+  check_int "n" 12 (Graph.n g);
+  check_int "m" 17 (Graph.m g);
+  (* corners have degree 2 *)
+  check_int "corner" 2 (Graph.degree g 0);
+  check_int "diameter" 5 (Bfs.diameter g)
+
+let test_torus () =
+  let g = Gen.torus 4 4 in
+  check_int "n" 16 (Graph.n g);
+  Graph.iter_vertices (fun v -> check_int "4-regular" 4 (Graph.degree g v)) g
+
+let test_hypercube () =
+  let g = Gen.hypercube 4 in
+  check_int "n" 16 (Graph.n g);
+  check_int "m" 32 (Graph.m g);
+  check_int "diameter" 4 (Bfs.diameter g)
+
+let test_petersen () =
+  let g = Gen.petersen () in
+  check_int "n" 10 (Graph.n g);
+  check_int "m" 15 (Graph.m g);
+  check_int "girth witness: no triangles through 0-1" 2 (Bfs.diameter g)
+
+let test_theta () =
+  let g = Gen.theta 4 2 in
+  check_int "n" 10 (Graph.n g);
+  check_int "m" 12 (Graph.m g);
+  check_int "hub distance" 3 (Bfs.dist_pair g 0 1)
+
+let test_erdos_renyi_extremes () =
+  let r = Rand.create 1 in
+  let g0 = Gen.erdos_renyi r 10 0.0 in
+  check_int "p=0" 0 (Graph.m g0);
+  let g1 = Gen.erdos_renyi r 10 1.0 in
+  check_int "p=1" 45 (Graph.m g1)
+
+let test_erdos_renyi_density () =
+  let r = Rand.create 2 in
+  let g = Gen.erdos_renyi r 60 0.3 in
+  let expected = 0.3 *. float_of_int (60 * 59 / 2) in
+  let got = float_of_int (Graph.m g) in
+  check "density within 20%" true (Float.abs (got -. expected) < 0.2 *. expected)
+
+let test_random_tree () =
+  let r = Rand.create 3 in
+  let g = Gen.random_tree r 40 in
+  check_int "m = n-1" 39 (Graph.m g);
+  check "connected" true (Connectivity.is_connected g)
+
+let test_random_connected () =
+  let r = Rand.create 4 in
+  let g = Gen.random_connected r 50 0.02 in
+  check "connected" true (Connectivity.is_connected g)
+
+let test_barbell () =
+  let g = Gen.barbell 4 in
+  check_int "n" 8 (Graph.n g);
+  check_int "m" 13 (Graph.m g);
+  check_int "bridge" 1 (Connectivity.pair_connectivity g 0 7)
+
+let test_wheel () =
+  let g = Gen.wheel 7 in
+  check_int "n" 7 (Graph.n g);
+  check_int "m" 12 (Graph.m g);
+  check_int "hub degree" 6 (Graph.degree g 0);
+  for v = 1 to 6 do
+    check_int "rim degree" 3 (Graph.degree g v)
+  done;
+  check_int "diameter" 2 (Bfs.diameter g)
+
+let test_circulant () =
+  let g = Gen.circulant 10 [ 1; 2 ] in
+  check_int "m" 20 (Graph.m g);
+  Graph.iter_vertices (fun v -> check_int "4-regular" 4 (Graph.degree g v)) g;
+  check "wrap edge" true (Graph.mem_edge g 0 9);
+  check "offset 2" true (Graph.mem_edge g 0 2);
+  check "bad offset" true
+    (match Gen.circulant 10 [ 6 ] with _ -> false | exception Invalid_argument _ -> true)
+
+let test_binary_tree () =
+  let g = Gen.binary_tree 15 in
+  check_int "m" 14 (Graph.m g);
+  check "connected" true (Connectivity.is_connected g);
+  check_int "root degree" 2 (Graph.degree g 0);
+  check_int "leaf degree" 1 (Graph.degree g 14);
+  check_int "depth" 3 (Bfs.dist g 0).(14)
+
+let test_caterpillar () =
+  let g = Gen.caterpillar 4 3 in
+  check_int "n" 16 (Graph.n g);
+  check_int "m (tree)" 15 (Graph.m g);
+  check "connected" true (Connectivity.is_connected g);
+  check_int "spine end degree" 4 (Graph.degree g 0);
+  check_int "spine mid degree" 5 (Graph.degree g 1)
+
+let test_gnm_exact_count () =
+  let r = Rand.create 8 in
+  List.iter
+    (fun m ->
+      let g = Gen.gnm r 20 m in
+      check_int "edge count" m (Graph.m g))
+    [ 0; 1; 50; 190 ];
+  check "too many" true
+    (match Gen.gnm r 5 11 with _ -> false | exception Invalid_argument _ -> true)
+
+let test_random_regular () =
+  let r = Rand.create 9 in
+  List.iter
+    (fun (n, d) ->
+      let g = Gen.random_regular r n d in
+      Graph.iter_vertices
+        (fun v -> check_int (Printf.sprintf "degree n=%d d=%d" n d) d (Graph.degree g v))
+        g)
+    [ (10, 3); (20, 4); (8, 2); (6, 5) ];
+  check "odd product" true
+    (match Gen.random_regular r 5 3 with _ -> false | exception Invalid_argument _ -> true)
+
+let test_io_roundtrip () =
+  List.iter
+    (fun g ->
+      let s = Graph_io.to_string g in
+      check "roundtrip" true (Graph.equal g (Graph_io.of_string s)))
+    [ Gen.petersen (); Gen.grid 3 3; Gen.empty 5; Gen.complete 4 ]
+
+let test_io_comments_and_errors () =
+  let g = Graph_io.of_string "# a comment\n2 1\n0 1\n" in
+  check_int "parsed" 1 (Graph.m g);
+  check "bad header" true
+    (match Graph_io.of_string "nope" with _ -> false | exception Failure _ -> true);
+  check "count mismatch" true
+    (match Graph_io.of_string "2 2\n0 1\n" with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_io_file_roundtrip () =
+  let file = Filename.temp_file "rspan" ".graph" in
+  let g = Gen.petersen () in
+  Graph_io.save file g;
+  let g' = Graph_io.load file in
+  Sys.remove file;
+  check "file roundtrip" true (Graph.equal g g')
+
+let test_dot_output () =
+  let g = Gen.path_graph 3 in
+  let h = Edge_set.create g in
+  Edge_set.add h 0 1;
+  let dot = Graph_io.to_dot ~highlight:h g in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  check "mentions bold edge" true (contains dot "0 -- 1 [color=red");
+  check "plain edge gray" true (contains dot "1 -- 2 [color=gray")
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "tiny paths" `Quick test_path_tiny;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "theta" `Quick test_theta;
+          Alcotest.test_case "ER extremes" `Quick test_erdos_renyi_extremes;
+          Alcotest.test_case "ER density" `Quick test_erdos_renyi_density;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "barbell" `Quick test_barbell;
+          Alcotest.test_case "wheel" `Quick test_wheel;
+          Alcotest.test_case "circulant" `Quick test_circulant;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree;
+          Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+          Alcotest.test_case "gnm exact" `Quick test_gnm_exact_count;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "comments and errors" `Quick test_io_comments_and_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "dot highlight" `Quick test_dot_output;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for points, metrics, samplers, unit ball graphs, weighted
+   graphs and the Figure 1 instance. *)
+open Rs_geometry
+module Graph = Rs_graph.Graph
+module Bfs = Rs_graph.Bfs
+module Rand = Rs_graph.Rand
+module Connectivity = Rs_graph.Connectivity
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Point / Metric *)
+
+let test_point_distances () =
+  check_float "l2" 5.0 (Point.l2 [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  check_float "linf" 4.0 (Point.linf [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  check_float "l1" 7.0 (Point.l1 [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  check_float "torus wrap" 2.0 (Point.torus_l2 ~side:10.0 [| 1.0 |] [| 9.0 |])
+
+let test_point_dim_mismatch () =
+  check "mismatch" true
+    (match Point.l2 [| 0.0 |] [| 0.0; 1.0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_metric_symmetric () =
+  let pts = [| [| 0.0; 0.0 |]; [| 1.0; 2.0 |]; [| -3.0; 0.5 |] |] in
+  let m = Metric.euclidean pts in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      check_float "sym" (m.Metric.dist i j) (m.Metric.dist j i)
+    done;
+    check_float "self" 0.0 (m.Metric.dist i i)
+  done
+
+let test_doubling_estimate_plane () =
+  let rand = Rand.create 9 in
+  let pts = Sampler.uniform rand ~n:200 ~dim:2 ~side:10.0 in
+  let m = Metric.euclidean pts in
+  let est = Metric.doubling_estimate m ~sample:20 (Rand.create 10) in
+  (* the plane has doubling dimension 2; finite samples stay below ~4 *)
+  check "plane doubling below 4.2" true (est <= 4.2)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler *)
+
+let test_uniform_bounds () =
+  let rand = Rand.create 1 in
+  let pts = Sampler.uniform rand ~n:100 ~dim:3 ~side:4.0 in
+  check_int "count" 100 (Array.length pts);
+  Array.iter
+    (fun p ->
+      check_int "dim" 3 (Array.length p);
+      Array.iter (fun x -> check "in cube" true (x >= 0.0 && x < 4.0)) p)
+    pts
+
+let test_poisson_square_count () =
+  let rand = Rand.create 2 in
+  let trials = 50 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    sum := !sum + Array.length (Sampler.poisson_square rand ~intensity:3.0 ~side:5.0)
+  done;
+  let mean = float_of_int !sum /. float_of_int trials in
+  (* expected 75 *)
+  check "poisson count near 75" true (mean > 65.0 && mean < 85.0)
+
+let test_grid_jitter () =
+  let rand = Rand.create 3 in
+  let pts = Sampler.grid_jitter rand ~per_side:5 ~spacing:1.0 ~jitter:0.1 in
+  check_int "count" 25 (Array.length pts);
+  (* point (r=0,c=1) stays near (1, 0) *)
+  check "near grid" true (Point.l2 pts.(1) [| 1.0; 0.0 |] <= sqrt 2.0 *. 0.1 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Unit_ball *)
+
+let square_pts = [| [| 0.0; 0.0 |]; [| 0.9; 0.0 |]; [| 0.9; 0.9 |]; [| 0.0; 0.9 |] |]
+
+let test_udg_square () =
+  let g = Unit_ball.udg square_pts in
+  (* sides length .9 are edges, diagonals ~1.27 are not *)
+  check_int "m" 4 (Graph.m g);
+  check "side" true (Graph.mem_edge g 0 1);
+  check "diagonal" false (Graph.mem_edge g 0 2)
+
+let test_udg_radius_param () =
+  let g = Unit_ball.udg ~radius:1.5 square_pts in
+  check_int "all edges" 6 (Graph.m g)
+
+let test_grid_matches_naive () =
+  let rand = Rand.create 4 in
+  let pts = Sampler.uniform rand ~n:150 ~dim:2 ~side:5.0 in
+  let fast = Unit_ball.of_points pts in
+  let naive = Unit_ball.of_metric (Metric.euclidean pts) in
+  check "same graph" true (Graph.equal fast naive)
+
+let test_grid_matches_naive_3d () =
+  let rand = Rand.create 5 in
+  let pts = Sampler.uniform rand ~n:80 ~dim:3 ~side:3.0 in
+  let fast = Unit_ball.of_points pts in
+  let naive = Unit_ball.of_metric (Metric.euclidean pts) in
+  check "same graph 3d" true (Graph.equal fast naive)
+
+let test_ubg_linf_metric () =
+  let pts = [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |] |] in
+  let g2 = Unit_ball.of_metric (Metric.linf pts) in
+  check "linf edge" true (Graph.mem_edge g2 0 1);
+  let g = Unit_ball.of_metric (Metric.euclidean pts) in
+  check "l2 no edge" false (Graph.mem_edge g 0 1)
+
+let test_empty_points () =
+  check_int "empty" 0 (Graph.n (Unit_ball.of_points [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Point_io *)
+
+let test_point_io_roundtrip () =
+  let rand = Rand.create 21 in
+  let pts = Sampler.uniform rand ~n:30 ~dim:2 ~side:5.0 in
+  let pts' = Point_io.of_string (Point_io.to_string pts) in
+  check_int "count" 30 (Array.length pts');
+  Array.iteri (fun i p -> check "exact roundtrip" true (p = pts'.(i))) pts
+
+let test_point_io_3d () =
+  let pts = [| [| 1.0; 2.0; 3.0 |]; [| -0.5; 0.25; 1e-9 |] |] in
+  let pts' = Point_io.of_string (Point_io.to_string pts) in
+  check "3d roundtrip" true (pts = pts')
+
+let test_point_io_errors () =
+  check "empty" true
+    (match Point_io.of_string "" with _ -> false | exception Failure _ -> true);
+  check "bad row" true
+    (match Point_io.of_string "1 2\n0.0\n" with _ -> false | exception Failure _ -> true);
+  check "count mismatch" true
+    (match Point_io.of_string "2 1\n0.0\n" with _ -> false | exception Failure _ -> true)
+
+let test_point_io_file () =
+  let file = Filename.temp_file "rspan" ".xy" in
+  let pts = [| [| 0.5; 0.5 |] |] in
+  Point_io.save file pts;
+  let pts' = Point_io.load file in
+  Sys.remove file;
+  check "file roundtrip" true (pts = pts')
+
+(* ------------------------------------------------------------------ *)
+(* higher-dimensional / exotic-metric UBGs drive the constructions too *)
+
+let test_constructions_on_3d_ubg () =
+  let rand = Rand.create 23 in
+  let pts = Sampler.uniform rand ~n:60 ~dim:3 ~side:2.5 in
+  let g = Unit_ball.of_points pts in
+  let h = Rs_core.Remote_spanner.low_stretch g ~eps:0.5 in
+  check "3d UBG (1.5,0)-RS" true
+    (Rs_core.Verify.is_remote_spanner g h ~alpha:1.5 ~beta:0.0)
+
+let test_constructions_on_torus_ubg () =
+  let rand = Rand.create 25 in
+  let pts = Sampler.uniform rand ~n:60 ~dim:2 ~side:4.0 in
+  let g = Unit_ball.of_metric (Metric.torus ~side:4.0 pts) in
+  let h = Rs_core.Remote_spanner.exact_distance g in
+  check "torus UBG (1,0)-RS" true
+    (Rs_core.Verify.is_remote_spanner g h ~alpha:1.0 ~beta:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Wgraph *)
+
+let test_wgraph_weights () =
+  let pts = [| [| 0.0; 0.0 |]; [| 0.5; 0.0 |]; [| 1.0; 0.0 |] |] in
+  let m = Metric.euclidean pts in
+  let g = Unit_ball.of_metric m in
+  let w = Wgraph.of_metric_graph m g in
+  check_float "weight" 0.5 (Wgraph.weight w 0 1);
+  check_float "weight 02" 1.0 (Wgraph.weight w 0 2)
+
+let test_wgraph_dijkstra () =
+  let pts = [| [| 0.0; 0.0 |]; [| 0.9; 0.0 |]; [| 1.8; 0.0 |]; [| 9.0; 9.0 |] |] in
+  let m = Metric.euclidean pts in
+  let g = Unit_ball.of_metric m in
+  let w = Wgraph.of_metric_graph m g in
+  let d = Wgraph.dijkstra w 0 in
+  check_float "two hops" 1.8 d.(2);
+  check "unreachable" true (d.(3) = infinity)
+
+let test_greedy_tspanner_property () =
+  let rand = Rand.create 6 in
+  let pts = Sampler.uniform rand ~n:100 ~dim:2 ~side:3.0 in
+  let m = Metric.euclidean pts in
+  let g = Unit_ball.of_metric m in
+  let w = Wgraph.of_metric_graph m g in
+  let sp = Wgraph.greedy_tspanner w ~t_:1.5 in
+  check "t-spanner property" true (Wgraph.stretch_ok w sp ~t_:1.5);
+  check "sparser than input" true
+    (Rs_graph.Edge_set.cardinal sp <= Graph.m g)
+
+let test_greedy_tspanner_linear_on_doubling () =
+  let rand = Rand.create 7 in
+  let pts = Sampler.uniform rand ~n:300 ~dim:2 ~side:6.0 in
+  let m = Metric.euclidean pts in
+  let g = Unit_ball.of_metric m in
+  let w = Wgraph.of_metric_graph m g in
+  let sp = Wgraph.greedy_tspanner w ~t_:1.5 in
+  (* greedy t-spanners of doubling metrics have bounded degree;
+     12/edge-per-node is a loose empirical cap for t = 1.5 in the plane *)
+  check "O(n) edges" true (Rs_graph.Edge_set.cardinal sp < 12 * 300)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+let test_figure1_caption_properties () =
+  let f = Figure1.instance () in
+  let g = f.Figure1.graph in
+  check_int "u-x distance 2" 2 (Bfs.dist_pair g f.Figure1.u f.Figure1.x);
+  check_int "u-v distance 2" 2 (Bfs.dist_pair g f.Figure1.u f.Figure1.v);
+  check "u-v nonadjacent" false (Graph.mem_edge g f.Figure1.u f.Figure1.v);
+  check "u-y edge" true (Graph.mem_edge g f.Figure1.u f.Figure1.y);
+  check "y-v edge" true (Graph.mem_edge g f.Figure1.y f.Figure1.v);
+  check "y-x edge" true (Graph.mem_edge g f.Figure1.y f.Figure1.x);
+  check "x-v edge" true (Graph.mem_edge g f.Figure1.x f.Figure1.v);
+  check "y'-x' edge" true (Graph.mem_edge g f.Figure1.y' f.Figure1.x');
+  check "x'-v edge" true (Graph.mem_edge g f.Figure1.x' f.Figure1.v);
+  check "z-x edge" true (Graph.mem_edge g f.Figure1.z f.Figure1.x);
+  check "z-v nonadjacent" false (Graph.mem_edge g f.Figure1.z f.Figure1.v);
+  check "connected" true (Connectivity.is_connected g)
+
+let test_figure1_two_disjoint_uv_paths () =
+  let f = Figure1.instance () in
+  check "2-connected pair" true
+    (Connectivity.is_k_connected_pair f.Figure1.graph ~k:2 f.Figure1.u f.Figure1.v)
+
+let test_figure1_labels () =
+  let f = Figure1.instance () in
+  Alcotest.(check string) "u" "u" (Figure1.label f f.Figure1.u);
+  Alcotest.(check string) "y'" "y'" (Figure1.label f f.Figure1.y')
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "point_metric",
+        [
+          Alcotest.test_case "distances" `Quick test_point_distances;
+          Alcotest.test_case "dimension mismatch" `Quick test_point_dim_mismatch;
+          Alcotest.test_case "metric symmetry" `Quick test_metric_symmetric;
+          Alcotest.test_case "doubling estimate" `Quick test_doubling_estimate_plane;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "poisson count" `Quick test_poisson_square_count;
+          Alcotest.test_case "grid jitter" `Quick test_grid_jitter;
+        ] );
+      ( "unit_ball",
+        [
+          Alcotest.test_case "udg square" `Quick test_udg_square;
+          Alcotest.test_case "radius param" `Quick test_udg_radius_param;
+          Alcotest.test_case "grid = naive (2d)" `Quick test_grid_matches_naive;
+          Alcotest.test_case "grid = naive (3d)" `Quick test_grid_matches_naive_3d;
+          Alcotest.test_case "linf metric" `Quick test_ubg_linf_metric;
+          Alcotest.test_case "empty input" `Quick test_empty_points;
+        ] );
+      ( "point_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_point_io_roundtrip;
+          Alcotest.test_case "3d" `Quick test_point_io_3d;
+          Alcotest.test_case "errors" `Quick test_point_io_errors;
+          Alcotest.test_case "file" `Quick test_point_io_file;
+        ] );
+      ( "exotic_inputs",
+        [
+          Alcotest.test_case "3d UBG" `Quick test_constructions_on_3d_ubg;
+          Alcotest.test_case "torus UBG" `Quick test_constructions_on_torus_ubg;
+        ] );
+      ( "wgraph",
+        [
+          Alcotest.test_case "weights" `Quick test_wgraph_weights;
+          Alcotest.test_case "dijkstra" `Quick test_wgraph_dijkstra;
+          Alcotest.test_case "greedy t-spanner property" `Quick test_greedy_tspanner_property;
+          Alcotest.test_case "t-spanner linear size" `Quick test_greedy_tspanner_linear_on_doubling;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "caption properties" `Quick test_figure1_caption_properties;
+          Alcotest.test_case "two disjoint u-v paths" `Quick test_figure1_two_disjoint_uv_paths;
+          Alcotest.test_case "labels" `Quick test_figure1_labels;
+        ] );
+    ]

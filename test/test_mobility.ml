@@ -1,0 +1,159 @@
+(* Tests for the random waypoint model and routing-under-churn
+   evaluation. *)
+open Rs_graph
+module Waypoint = Rs_mobility.Waypoint
+module Churn_eval = Rs_mobility.Churn_eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let model seed n =
+  Waypoint.create (Rand.create seed) ~n ~side:5.0 ~speed_min:0.05 ~speed_max:0.2 ~pause:2
+
+let test_waypoint_bounds () =
+  let m = model 171 40 in
+  for _ = 1 to 200 do
+    Waypoint.step m;
+    Array.iter
+      (fun p ->
+        check "x in box" true (p.(0) >= 0.0 && p.(0) <= 5.0);
+        check "y in box" true (p.(1) >= 0.0 && p.(1) <= 5.0))
+      (Waypoint.positions m)
+  done
+
+let test_waypoint_moves_bounded_speed () =
+  let m = model 173 30 in
+  for _ = 1 to 50 do
+    let before = Waypoint.positions m in
+    Waypoint.step m;
+    let after = Waypoint.positions m in
+    Array.iteri
+      (fun i p ->
+        let d = Rs_geometry.Point.l2 p after.(i) in
+        check "speed cap" true (d <= 0.2 +. 1e-9))
+      before
+  done
+
+let test_waypoint_deterministic () =
+  let run seed =
+    let m = model seed 20 in
+    for _ = 1 to 30 do
+      Waypoint.step m
+    done;
+    Waypoint.positions m
+  in
+  check "same seed same run" true (run 7 = run 7);
+  check "different seed differs" true (run 7 <> run 8)
+
+let test_waypoint_actually_moves () =
+  let m = model 175 20 in
+  let before = Waypoint.positions m in
+  for _ = 1 to 30 do
+    Waypoint.step m
+  done;
+  let after = Waypoint.positions m in
+  let moved = ref 0 in
+  Array.iteri
+    (fun i p -> if Rs_geometry.Point.l2 p after.(i) > 0.1 then incr moved)
+    before;
+  check "most nodes moved" true (!moved > 10)
+
+let test_waypoint_graph_changes () =
+  let m = model 177 50 in
+  let g0 = Waypoint.graph m in
+  for _ = 1 to 60 do
+    Waypoint.step m
+  done;
+  let g1 = Waypoint.graph m in
+  check "topology churned" false (Graph.equal g0 g1)
+
+let test_waypoint_rejects_bad_params () =
+  check "bad speeds" true
+    (match
+       Waypoint.create (Rand.create 1) ~n:3 ~side:1.0 ~speed_min:0.5 ~speed_max:0.1 ~pause:0
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------------------------------------------------------- *)
+(* Churn_eval *)
+
+let strategies =
+  [
+    { Churn_eval.name = "full"; build = Rs_core.Baseline.full };
+    { Churn_eval.name = "(1,0)-RS"; build = Rs_core.Remote_spanner.exact_distance };
+    { Churn_eval.name = "2conn"; build = Rs_core.Remote_spanner.two_connecting };
+  ]
+
+let test_churn_reports_shape () =
+  let m = model 179 40 in
+  let reports =
+    Churn_eval.run (Rand.create 181) ~model:m ~strategies ~steps:20 ~refresh:5
+      ~pairs_per_step:5
+  in
+  check_int "one report per strategy" 3 (List.length reports);
+  List.iter
+    (fun r ->
+      check "delivered <= attempted" true (r.Churn_eval.delivered <= r.Churn_eval.pairs_attempted);
+      check "attempted > 0" true (r.Churn_eval.pairs_attempted > 0);
+      check "stretch >= 1 when delivered" true
+        (r.Churn_eval.delivered = 0 || r.Churn_eval.mean_stretch >= 1.0 -. 1e-9);
+      check "advertised positive" true (r.Churn_eval.mean_advertised > 0.0))
+    reports;
+  (* the comparison is paired: same attempted count everywhere *)
+  match reports with
+  | a :: rest ->
+      List.iter
+        (fun r -> check_int "paired" a.Churn_eval.pairs_attempted r.Churn_eval.pairs_attempted)
+        rest
+  | [] -> ()
+
+let test_static_nodes_deliver_everything () =
+  (* zero speed: no staleness, full delivery at stretch 1 for full and
+     (1,0)-RS *)
+  let m =
+    Waypoint.create (Rand.create 183) ~n:40 ~side:3.0 ~speed_min:0.0 ~speed_max:0.0 ~pause:0
+  in
+  let reports =
+    Churn_eval.run (Rand.create 185) ~model:m ~strategies ~steps:10 ~refresh:3
+      ~pairs_per_step:5
+  in
+  List.iter
+    (fun r ->
+      check_int (r.Churn_eval.name ^ " all delivered") r.Churn_eval.pairs_attempted
+        r.Churn_eval.delivered;
+      check_int (r.Churn_eval.name ^ " no flips") 0 r.Churn_eval.link_changes;
+      if r.Churn_eval.name <> "2conn" then
+        check (r.Churn_eval.name ^ " stretch 1") true
+          (Float.abs (r.Churn_eval.mean_stretch -. 1.0) < 1e-9))
+    reports
+
+let test_spanner_advertises_less () =
+  let m = model 187 50 in
+  let reports =
+    Churn_eval.run (Rand.create 189) ~model:m ~strategies ~steps:12 ~refresh:4
+      ~pairs_per_step:4
+  in
+  let find name = List.find (fun r -> r.Churn_eval.name = name) reports in
+  check "spanner lighter than full" true
+    ((find "(1,0)-RS").Churn_eval.mean_advertised < (find "full").Churn_eval.mean_advertised)
+
+let () =
+  Alcotest.run "mobility"
+    [
+      ( "waypoint",
+        [
+          Alcotest.test_case "stays in the box" `Quick test_waypoint_bounds;
+          Alcotest.test_case "speed bounded" `Quick test_waypoint_moves_bounded_speed;
+          Alcotest.test_case "deterministic" `Quick test_waypoint_deterministic;
+          Alcotest.test_case "moves" `Quick test_waypoint_actually_moves;
+          Alcotest.test_case "topology churns" `Quick test_waypoint_graph_changes;
+          Alcotest.test_case "rejects bad params" `Quick test_waypoint_rejects_bad_params;
+        ] );
+      ( "churn_eval",
+        [
+          Alcotest.test_case "report shape" `Quick test_churn_reports_shape;
+          Alcotest.test_case "static = perfect" `Quick test_static_nodes_deliver_everything;
+          Alcotest.test_case "spanner lighter" `Quick test_spanner_advertises_less;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for multipoint relays and MPR flooding. *)
+open Rs_graph
+open Rs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let udg seed n =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. 4.0) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  Rs_geometry.Unit_ball.udg pts
+
+let graphs =
+  [
+    ("petersen", Gen.petersen ());
+    ("grid45", Gen.grid 4 5);
+    ("udg", udg 91 70);
+    ("er", Gen.erdos_renyi (Rand.create 93) 40 0.15);
+    ("cycle9", Gen.cycle 9);
+  ]
+
+let test_select_valid () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter_vertices
+        (fun u ->
+          check (Printf.sprintf "%s u=%d" name u) true
+            (Mpr.is_valid_mpr g u (Mpr.select g u)))
+        g)
+    graphs
+
+let test_select_olsr_valid () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter_vertices
+        (fun u ->
+          check (Printf.sprintf "%s u=%d olsr" name u) true
+            (Mpr.is_valid_mpr g u (Mpr.select_olsr g u)))
+        g)
+    graphs
+
+let test_select_subset_of_neighbors () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter_vertices
+        (fun u ->
+          List.iter
+            (fun x -> check (name ^ " relay is neighbor") true (Graph.mem_edge g u x))
+            (Mpr.select g u))
+        g)
+    graphs
+
+let test_select_star_leaf () =
+  let g = Gen.star 6 in
+  (* from a leaf, the center must be the single relay *)
+  Alcotest.(check (list int)) "center" [ 0 ] (Mpr.select g 1);
+  (* the center has no 2-hop nodes: no relays *)
+  Alcotest.(check (list int)) "none" [] (Mpr.select g 0)
+
+let test_k_coverage_counts () =
+  let g = Gen.complete_bipartite 2 4 in
+  (* u=0, the only 2-hop node is 1, coverable by all 4 right nodes *)
+  check_int "k=2" 2 (List.length (Mpr.select_k_coverage g ~k:2 0));
+  check_int "k=3" 3 (List.length (Mpr.select_k_coverage g ~k:3 0));
+  check_int "k=10 capped" 4 (List.length (Mpr.select_k_coverage g ~k:10 0))
+
+let test_is_valid_mpr_negative () =
+  let g = Gen.cycle 6 in
+  check "empty relays invalid" false (Mpr.is_valid_mpr g 0 []);
+  check "one side missing" false (Mpr.is_valid_mpr g 0 [ 1 ])
+
+let test_relay_union_is_1_0_remote_spanner () =
+  (* the paper: MPR unions provide shortest-path routes *)
+  List.iter
+    (fun (name, g) ->
+      let h = Mpr.relay_union g Mpr.select in
+      check (name ^ " union RS") true (Verify.is_remote_spanner g h ~alpha:1.0 ~beta:0.0);
+      let h2 = Mpr.relay_union g Mpr.select_olsr in
+      check (name ^ " olsr union RS") true (Verify.is_remote_spanner g h2 ~alpha:1.0 ~beta:0.0))
+    graphs
+
+let test_relay_union_equals_exact_distance () =
+  (* Mpr.select = leaves of gdy_k k=1, so the unions coincide *)
+  let g = udg 95 50 in
+  check "same edge set" true
+    (Edge_set.equal (Mpr.relay_union g Mpr.select) (Remote_spanner.exact_distance g))
+
+let test_flood_reaches_component () =
+  List.iter
+    (fun (name, g) ->
+      let relays u = Mpr.select g u in
+      Graph.iter_vertices
+        (fun src ->
+          let d = Bfs.dist g src in
+          let res = Mpr.flood g ~relays ~src in
+          Graph.iter_vertices
+            (fun v ->
+              check
+                (Printf.sprintf "%s src=%d v=%d" name src v)
+                (d.(v) >= 0)
+                res.Mpr.reached.(v))
+            g)
+        g)
+    graphs
+
+let test_flood_cheaper_than_blind () =
+  let g = udg 97 120 in
+  let relays u = Mpr.select g u in
+  let total_mpr = ref 0 and total_blind = ref 0 in
+  Graph.iter_vertices
+    (fun src ->
+      total_mpr := !total_mpr + (Mpr.flood g ~relays ~src).Mpr.retransmissions;
+      total_blind := !total_blind + (Mpr.blind_flood g ~src).Mpr.retransmissions)
+    g;
+  check "fewer retransmissions" true (!total_mpr < !total_blind)
+
+let test_flood_from_isolated () =
+  let g = Gen.empty 3 in
+  let res = Mpr.flood g ~relays:(fun _ -> []) ~src:0 in
+  check "only source" true res.Mpr.reached.(0);
+  check "others not" false res.Mpr.reached.(1);
+  check_int "no retransmissions" 0 res.Mpr.retransmissions
+
+let test_k_coverage_union_is_k_connecting () =
+  (* the claim "never proved" before Prop 5, checked by flow (E10) *)
+  let g = Gen.erdos_renyi (Rand.create 99) 16 0.4 in
+  let h = Mpr.relay_union g (fun g u -> Mpr.select_k_coverage g ~k:2 u) in
+  check "k-coverage union 2-connects" true
+    (Verify.is_k_connecting g h ~alpha:1.0 ~beta:0.0 ~k:2)
+
+(* ---------------------------------------------------------------- *)
+(* lossy flooding: the k-coverage motivation *)
+
+let test_lossy_zero_loss_equals_reliable () =
+  let g = udg 201 80 in
+  let relays u = Mpr.select g u in
+  Graph.iter_vertices
+    (fun src ->
+      if src mod 7 = 0 then begin
+        let lossless = Mpr.flood_lossy (Rand.create 5) g ~relays ~src ~loss:0.0 in
+        let reliable = Mpr.flood g ~relays ~src in
+        Alcotest.(check (array bool)) "same coverage" reliable.Mpr.reached lossless.Mpr.reached
+      end)
+    g
+
+let test_lossy_k_coverage_more_reliable () =
+  let g = udg 203 100 in
+  let loss = 0.4 in
+  let coverage relays seed =
+    let total = ref 0 and reached = ref 0 in
+    Graph.iter_vertices
+      (fun src ->
+        if src mod 5 = 0 then begin
+          let r = Mpr.flood_lossy (Rand.create seed) g ~relays ~src ~loss in
+          Array.iter
+            (fun b ->
+              incr total;
+              if b then incr reached)
+            r.Mpr.reached
+        end)
+      g;
+    float_of_int !reached /. float_of_int !total
+  in
+  let k1 = coverage (fun u -> Mpr.select g u) 11 in
+  let k3 = coverage (fun u -> Mpr.select_k_coverage g ~k:3 u) 11 in
+  check "k=3 covers at least as well" true (k3 >= k1);
+  check "k=3 much better at heavy loss" true (k3 -. k1 > 0.05)
+
+let test_lossy_rejects_bad_loss () =
+  let g = Gen.cycle 5 in
+  check "loss 1 rejected" true
+    (match Mpr.flood_lossy (Rand.create 1) g ~relays:(fun _ -> []) ~src:0 ~loss:1.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mpr"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "greedy valid" `Quick test_select_valid;
+          Alcotest.test_case "olsr valid" `Quick test_select_olsr_valid;
+          Alcotest.test_case "relays are neighbors" `Quick test_select_subset_of_neighbors;
+          Alcotest.test_case "star cases" `Quick test_select_star_leaf;
+          Alcotest.test_case "k-coverage counts" `Quick test_k_coverage_counts;
+          Alcotest.test_case "validity negative" `Quick test_is_valid_mpr_negative;
+        ] );
+      ( "union",
+        [
+          Alcotest.test_case "union is (1,0)-RS" `Quick test_relay_union_is_1_0_remote_spanner;
+          Alcotest.test_case "union = exact_distance" `Quick test_relay_union_equals_exact_distance;
+          Alcotest.test_case "k-coverage 2-connects (E10)" `Slow test_k_coverage_union_is_k_connecting;
+        ] );
+      ( "flooding",
+        [
+          Alcotest.test_case "reaches the component" `Quick test_flood_reaches_component;
+          Alcotest.test_case "cheaper than blind" `Quick test_flood_cheaper_than_blind;
+          Alcotest.test_case "isolated source" `Quick test_flood_from_isolated;
+          Alcotest.test_case "lossy: zero loss = reliable" `Quick test_lossy_zero_loss_equals_reliable;
+          Alcotest.test_case "lossy: k-coverage helps" `Quick test_lossy_k_coverage_more_reliable;
+          Alcotest.test_case "lossy: bad loss rejected" `Quick test_lossy_rejects_bad_loss;
+        ] );
+    ]

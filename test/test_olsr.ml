@@ -1,0 +1,158 @@
+(* Tests for the OLSR control-plane model and the proximity-graph
+   baselines. *)
+open Rs_graph
+open Rs_routing
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let udg_with_pts seed n =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. 4.5) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  (pts, Rs_geometry.Unit_ball.udg pts)
+
+(* ---------------------------------------------------------------- *)
+(* Olsr *)
+
+let test_selector_duality () =
+  let _, g = udg_with_pts 141 60 in
+  let o = Olsr.make g in
+  Graph.iter_vertices
+    (fun u ->
+      List.iter
+        (fun x -> check "duality" true (List.mem u (Olsr.selectors_of o x)))
+        (Olsr.mpr_of o u))
+    g;
+  Graph.iter_vertices
+    (fun x ->
+      List.iter
+        (fun u -> check "duality rev" true (List.mem x (Olsr.mpr_of o u)))
+        (Olsr.selectors_of o x))
+    g
+
+let test_advertised_equals_relay_union () =
+  let _, g = udg_with_pts 143 50 in
+  let o = Olsr.make g in
+  check "equal" true
+    (Edge_set.equal (Olsr.advertised o) (Rs_core.Mpr.relay_union g Rs_core.Mpr.select))
+
+let test_tc_originators_have_selectors () =
+  let _, g = udg_with_pts 145 50 in
+  let o = Olsr.make g in
+  List.iter
+    (fun x -> check "nonempty selectors" true (Olsr.selectors_of o x <> []))
+    (Olsr.tc_originators o);
+  Graph.iter_vertices
+    (fun x ->
+      if Olsr.selectors_of o x <> [] then
+        check "listed" true (List.mem x (Olsr.tc_originators o)))
+    g
+
+let test_routing_exact () =
+  List.iter
+    (fun seed ->
+      let _, g = udg_with_pts seed 40 in
+      let o = Olsr.make g in
+      check "shortest routes" true (Olsr.routing_exact o))
+    [ 147; 149; 151 ]
+
+let test_overhead_economics () =
+  let _, g = udg_with_pts 153 80 in
+  let o = Olsr.make g in
+  let ov = Olsr.control_overhead o in
+  check "fewer TC sources" true (ov.Olsr.tc_messages <= ov.Olsr.full_ls_messages);
+  check "fewer entries" true (ov.Olsr.tc_entries <= ov.Olsr.full_ls_entries);
+  check "cheaper flooding" true (ov.Olsr.tc_flood_retx < ov.Olsr.full_flood_retx);
+  check "hello counted" true (ov.Olsr.hello_entries = 2 * Graph.m g)
+
+let test_olsr_on_star () =
+  (* star: only the hub is selected as relay; it alone originates TC *)
+  let g = Gen.star 8 in
+  let o = Olsr.make g in
+  Alcotest.(check (list int)) "hub only" [ 0 ] (Olsr.tc_originators o);
+  check_int "advertised = star" 7 (Edge_set.cardinal (Olsr.advertised o));
+  check "routes exact" true (Olsr.routing_exact o)
+
+let test_olsr_on_complete () =
+  (* no 2-hop nodes: nobody selects relays, nothing is advertised *)
+  let g = Gen.complete 6 in
+  let o = Olsr.make g in
+  Alcotest.(check (list int)) "no TC" [] (Olsr.tc_originators o);
+  check_int "nothing advertised" 0 (Edge_set.cardinal (Olsr.advertised o));
+  check "routes still exact (all 1-hop)" true (Olsr.routing_exact o)
+
+(* ---------------------------------------------------------------- *)
+(* Proximity baselines *)
+
+let test_gabriel_subset_rng_superset () =
+  (* RNG is a sub-graph of Gabriel *)
+  let pts, g = udg_with_pts 155 60 in
+  let gg = Rs_geometry.Proximity.gabriel pts g in
+  let rng = Rs_geometry.Proximity.relative_neighborhood pts g in
+  check "rng subset of gabriel" true (Edge_set.subset rng gg);
+  check "gabriel subset of g" true (Edge_set.subset gg (Edge_set.full g))
+
+let test_gabriel_manual () =
+  (* three collinear points: the long edge is blocked by the middle *)
+  let pts = [| [| 0.0; 0.0 |]; [| 0.5; 0.0 |]; [| 1.0; 0.0 |] |] in
+  let g = Rs_geometry.Unit_ball.udg pts in
+  let gg = Rs_geometry.Proximity.gabriel pts g in
+  check "short kept" true (Edge_set.mem gg 0 1);
+  check "short kept 2" true (Edge_set.mem gg 1 2);
+  check "long dropped" false (Edge_set.mem gg 0 2)
+
+let test_rng_keeps_connectivity () =
+  let pts, g = udg_with_pts 157 70 in
+  if Connectivity.is_connected g then begin
+    let rng = Rs_geometry.Proximity.relative_neighborhood pts g in
+    check "still connected" true (Connectivity.is_connected (Edge_set.to_graph rng))
+  end
+
+let test_yao_degree_bound_and_connectivity () =
+  let pts, g = udg_with_pts 159 70 in
+  let y = Rs_geometry.Proximity.yao ~cones:6 pts g in
+  (* out-degree per node <= cones; symmetric closure can double it *)
+  let yg = Edge_set.to_graph y in
+  Graph.iter_vertices
+    (fun u -> check "degree bounded" true (Graph.degree yg u <= 12))
+    yg;
+  if Connectivity.is_connected g then
+    check "connected" true (Connectivity.is_connected yg)
+
+let test_proximity_no_remote_guarantee () =
+  (* the motivating gap: proximity graphs are sparse but their
+     remote-stretch is unbounded — exhibit stretch > 1.5 on RNG *)
+  let worst = ref 0.0 in
+  List.iter
+    (fun seed ->
+      let pts, g = udg_with_pts seed 60 in
+      let rng = Rs_geometry.Proximity.relative_neighborhood pts g in
+      let slack = Rs_core.Verify.worst_additive_slack g rng ~alpha:1.0 in
+      if slack <> neg_infinity && slack <> infinity then
+        worst := Float.max !worst slack)
+    [ 161; 163; 165 ];
+  check "detours appear" true (!worst >= 1.0)
+
+let () =
+  Alcotest.run "olsr"
+    [
+      ( "olsr",
+        [
+          Alcotest.test_case "selector duality" `Quick test_selector_duality;
+          Alcotest.test_case "advertised = relay union" `Quick test_advertised_equals_relay_union;
+          Alcotest.test_case "TC originators" `Quick test_tc_originators_have_selectors;
+          Alcotest.test_case "routing exact" `Quick test_routing_exact;
+          Alcotest.test_case "overhead economics" `Quick test_overhead_economics;
+          Alcotest.test_case "star" `Quick test_olsr_on_star;
+          Alcotest.test_case "complete" `Quick test_olsr_on_complete;
+        ] );
+      ( "proximity",
+        [
+          Alcotest.test_case "rng ⊆ gabriel ⊆ g" `Quick test_gabriel_subset_rng_superset;
+          Alcotest.test_case "gabriel manual" `Quick test_gabriel_manual;
+          Alcotest.test_case "rng connectivity" `Quick test_rng_keeps_connectivity;
+          Alcotest.test_case "yao degree + connectivity" `Quick test_yao_degree_bound_and_connectivity;
+          Alcotest.test_case "no remote guarantee" `Quick test_proximity_no_remote_guarantee;
+        ] );
+    ]

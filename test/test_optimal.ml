@@ -1,0 +1,115 @@
+(* Tests for the globally optimal (1,0)-remote-spanner solver. *)
+open Rs_graph
+open Rs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_graphs =
+  [
+    ("cycle6", Gen.cycle 6);
+    ("cycle9", Gen.cycle 9);
+    ("petersen", Gen.petersen ());
+    ("hypercube3", Gen.hypercube 3);
+    ("k33", Gen.complete_bipartite 3 3);
+    ("grid33", Gen.grid 3 3);
+    ("er12", Gen.erdos_renyi (Rand.create 67) 12 0.3);
+  ]
+
+let test_exact_is_valid_rs () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          match Optimal.exact_k_rs g ~k with
+          | None -> Alcotest.failf "%s: solver exhausted" name
+          | Some h ->
+              check
+                (Printf.sprintf "%s k=%d valid" name k)
+                true
+                (Verify.is_k_connecting g h ~alpha:1.0 ~beta:0.0 ~k))
+        [ 1; 2 ])
+    small_graphs
+
+let test_exact_below_construction () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          match Optimal.exact_k_rs g ~k with
+          | None -> ()
+          | Some opt ->
+              let constructed = Remote_spanner.k_connecting g ~k in
+              check
+                (Printf.sprintf "%s k=%d opt <= constructed" name k)
+                true
+                (Edge_set.cardinal opt <= Edge_set.cardinal constructed))
+        [ 1; 2 ])
+    small_graphs
+
+let test_bound_ordering () =
+  (* trivial lower bound <= exact optimum <= greedy construction *)
+  List.iter
+    (fun (name, g) ->
+      let k = 1 in
+      match Optimal.exact_k_rs g ~k with
+      | None -> ()
+      | Some opt ->
+          let lb = Optimal.lower_bound_trivial g ~k in
+          check (name ^ " lb <= opt") true (lb <= Edge_set.cardinal opt))
+    small_graphs
+
+let test_cycle_exact_value () =
+  (* C6: every vertex needs both incident edges to dominate its two
+     distance-2 nodes -> optimum is all 6 edges *)
+  match Optimal.exact_k_rs (Gen.cycle 6) ~k:1 with
+  | None -> Alcotest.fail "exhausted"
+  | Some h -> check_int "C6 optimum" 6 (Edge_set.cardinal h)
+
+let test_star_exact_value () =
+  (* star: all leaf pairs are at distance 2 through the center; every
+     center edge is needed *)
+  match Optimal.exact_k_rs (Gen.star 6) ~k:1 with
+  | None -> Alcotest.fail "exhausted"
+  | Some h -> check_int "star optimum" 5 (Edge_set.cardinal h)
+
+let test_complete_exact_value () =
+  (* no distance-2 pairs at all *)
+  match Optimal.exact_k_rs (Gen.complete 5) ~k:1 with
+  | None -> Alcotest.fail "exhausted"
+  | Some h -> check_int "complete optimum" 0 (Edge_set.cardinal h)
+
+let test_theorem2_ratio_vs_global_optimum () =
+  (* the 2(1+log D) guarantee measured against the TRUE optimum *)
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          match Optimal.exact_k_rs g ~k with
+          | None -> ()
+          | Some opt when Edge_set.cardinal opt > 0 ->
+              let constructed = Remote_spanner.k_connecting g ~k in
+              let ratio =
+                float_of_int (Edge_set.cardinal constructed)
+                /. float_of_int (Edge_set.cardinal opt)
+              in
+              let bound = 2.0 *. (1.0 +. log (float_of_int (Graph.max_degree g))) in
+              check (Printf.sprintf "%s k=%d ratio" name k) true (ratio <= bound +. 1e-9)
+          | Some _ -> ())
+        [ 1; 2 ])
+    small_graphs
+
+let () =
+  Alcotest.run "optimal"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "valid remote-spanner" `Slow test_exact_is_valid_rs;
+          Alcotest.test_case "below construction" `Quick test_exact_below_construction;
+          Alcotest.test_case "bound ordering" `Quick test_bound_ordering;
+          Alcotest.test_case "cycle value" `Quick test_cycle_exact_value;
+          Alcotest.test_case "star value" `Quick test_star_exact_value;
+          Alcotest.test_case "complete value" `Quick test_complete_exact_value;
+          Alcotest.test_case "theorem 2 ratio vs optimum" `Quick test_theorem2_ratio_vs_global_optimum;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* The paper's claims as a CI-enforced regression suite: one test per
+   Table-1 row / theorem / named remark, in miniature (the bench
+   harness runs the full-size versions). Each test states the claim it
+   pins in its name. *)
+open Rs_graph
+open Rs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let udg seed n density =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. density) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  (pts, Rs_geometry.Unit_ball.udg pts)
+
+(* Table 1 row 1-2: any graph admits a (2k-1,0)-spanner with
+   O(n^{1+1/k}) edges, and spanners are remote-spanners *)
+let row_general_graph_spanners () =
+  let g = Gen.erdos_renyi (Rand.create 201) 80 0.12 in
+  let k = 2 in
+  let h = Baseline.greedy_spanner g ~k in
+  check "spanner" true (Baseline.is_spanner g h ~alpha:3.0 ~beta:0.0);
+  check "remote-spanner" true (Verify.is_remote_spanner g h ~alpha:3.0 ~beta:0.0);
+  let bound = (80.0 ** 1.5) +. 80.0 in
+  check "girth size bound" true (float_of_int (Edge_set.cardinal h) <= bound)
+
+(* Table 1 row 3: a (1,0)-spanner must contain all edges... *)
+let row_exact_spanner_needs_everything () =
+  let g = Gen.cycle 8 in
+  let full = Edge_set.full g in
+  check "full graph is the only (1,0)-spanner of a cycle" true
+    (Baseline.is_spanner g full ~alpha:1.0 ~beta:0.0);
+  let missing = Edge_set.copy full in
+  Edge_set.remove missing 0 1;
+  check "any missing edge breaks it" false
+    (Baseline.is_spanner g missing ~alpha:1.0 ~beta:0.0);
+  (* ...whereas a (1,0)-REMOTE-spanner can drop edges *)
+  let h = Remote_spanner.exact_distance (snd (udg 203 60 4.0)) in
+  let g2 = Edge_set.host h in
+  check "remote version is sparser" true (Edge_set.cardinal h < Graph.m g2);
+  check "and still exact" true (Verify.is_remote_spanner g2 h ~alpha:1.0 ~beta:0.0)
+
+(* Table 1 row 4 / Theorem 2: k-connecting (1,0)-RS in O(1) time with
+   near-optimal size *)
+let row_k_connecting_optimal () =
+  let g = Gen.erdos_renyi (Rand.create 205) 16 0.4 in
+  let k = 2 in
+  let h = Remote_spanner.k_connecting g ~k in
+  check "k-connecting (1,0)" true (Verify.is_k_connecting g h ~alpha:1.0 ~beta:0.0 ~k);
+  (match Optimal.exact_k_rs g ~k with
+  | Some opt ->
+      let ratio =
+        float_of_int (Edge_set.cardinal h) /. float_of_int (max 1 (Edge_set.cardinal opt))
+      in
+      check "within 2(1+log D) of optimum" true
+        (ratio <= (2.0 *. (1.0 +. log (float_of_int (Graph.max_degree g)))) +. 1e-9)
+  | None -> ());
+  check_int "constant rounds (2r-1)" 3
+    (Remote_spanner.Distributed.k_connecting g ~k).Remote_spanner.Distributed.rounds_total
+
+(* Table 1 row 5: sparse (1,0)-RS on random UDG — spot check the
+   density drop at two sizes in a fixed square *)
+let row_udg_sparsity () =
+  let frac n =
+    let rand = Rand.create (207 + n) in
+    let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side:4.0 in
+    let g = Rs_geometry.Unit_ball.udg pts in
+    float_of_int (Edge_set.cardinal (Remote_spanner.exact_distance g))
+    /. float_of_int (Graph.m g)
+  in
+  (* n^{4/3} / n^2 shrinks: the kept fraction must drop with n *)
+  check "kept fraction drops" true (frac 300 < frac 75)
+
+(* Table 1 rows 6-7 / Theorem 1: low stretch, linear on doubling UBG,
+   distances unknown *)
+let row_low_stretch_linear () =
+  let eps = 0.5 in
+  let per_node n =
+    let _, g = udg (209 + n) n 4.0 in
+    let h = Remote_spanner.low_stretch g ~eps in
+    check "stretch" true
+      (Verify.is_remote_spanner g h ~alpha:(1.0 +. eps) ~beta:(1.0 -. (2.0 *. eps)));
+    float_of_int (Edge_set.cardinal h) /. float_of_int n
+  in
+  let d1 = per_node 100 and d2 = per_node 300 in
+  check "edges per node flat (linear size)" true (d2 < d1 *. 1.6)
+
+(* Table 1 row 9 / Theorem 3: 2-connecting (2,-1)-RS, linear on UBG *)
+let row_two_connecting () =
+  let _, g = udg 211 40 4.0 in
+  let h = Remote_spanner.two_connecting g in
+  check "2-connecting (2,-1)" true (Verify.is_k_connecting g h ~alpha:2.0 ~beta:(-1.0) ~k:2);
+  check_int "constant rounds (2r-1+2b)" 5
+    (Remote_spanner.Distributed.two_connecting g).Remote_spanner.Distributed.rounds_total
+
+(* Proposition 1: iff characterization at the tight eps *)
+let prop1_iff () =
+  let g = Gen.grid 4 4 in
+  let rand = Rand.create 213 in
+  for _ = 1 to 8 do
+    let h = Edge_set.create g in
+    Graph.iter_edges (fun u v -> if Rand.int rand 4 < 3 then Edge_set.add h u v) g;
+    check "iff" true
+      (Verify.induces_dominating_trees g h ~r:2 ~beta:1
+      = Verify.is_remote_spanner g h ~alpha:2.0 ~beta:(-1.0))
+  done
+
+(* Proposition 5: iff characterization for k-connecting (1,0) *)
+let prop5_iff () =
+  let g = Gen.petersen () in
+  let rand = Rand.create 215 in
+  for _ = 1 to 8 do
+    let h = Edge_set.create g in
+    Graph.iter_edges (fun u v -> if Rand.int rand 4 < 3 then Edge_set.add h u v) g;
+    check "iff" true
+      (Verify.induces_k20_trees g h ~k:2
+      = Verify.is_k_connecting g h ~alpha:1.0 ~beta:0.0 ~k:2)
+  done
+
+(* Section 1.2: multipoint relays are (2,0)-dominating trees and their
+   union gives shortest-path routes *)
+let mpr_shortest_routes () =
+  let _, g = udg 217 50 4.5 in
+  let h = Mpr.relay_union g Mpr.select in
+  let ls = Rs_routing.Link_state.make g h in
+  let r = Rs_routing.Link_state.measure_stretch ls in
+  check_int "all delivered" r.Rs_routing.Link_state.pairs r.Rs_routing.Link_state.delivered;
+  check_int "shortest" 0 r.Rs_routing.Link_state.worst_add
+
+(* Section 1: greedy routing achieves the d_{H_u} bound *)
+let greedy_routing_bound () =
+  let _, g = udg 219 40 4.0 in
+  let h = Remote_spanner.low_stretch g ~eps:1.0 in
+  let h_adj = Edge_set.to_adjacency h in
+  let ls = Rs_routing.Link_state.make g h in
+  Graph.iter_vertices
+    (fun s ->
+      let dhu = Bfs.augmented_dist g h_adj s in
+      Graph.iter_vertices
+        (fun t ->
+          if s <> t && dhu.(t) > 0 then
+            match Rs_routing.Link_state.route ls ~src:s ~dst:t with
+            | Some p -> check "route <= d_Hu" true (Path.length p <= dhu.(t))
+            | None -> Alcotest.fail "must deliver")
+        g)
+    g
+
+(* Concluding remark: edge-connectivity — false for the vertex
+   construction (bow-tie), true after repair *)
+let remark_edge_connectivity () =
+  let g = Extensions.bowtie () in
+  let base = Remote_spanner.two_connecting g in
+  check "counterexample" false (Verify.is_edge_k_connecting g base ~alpha:2.0 ~beta:(-1.0) ~k:2);
+  let h, added = Extensions.edge_repair g ~k:2 ~base in
+  check_int "two edges fix it" 2 added;
+  check "repaired" true (Verify.is_edge_k_connecting g h ~alpha:1.0 ~beta:0.0 ~k:2)
+
+let () =
+  Alcotest.run "paper_claims"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "rows 1-2: general spanners" `Quick row_general_graph_spanners;
+          Alcotest.test_case "row 3: remote beats exact spanner" `Quick row_exact_spanner_needs_everything;
+          Alcotest.test_case "row 4: k-connecting near-optimal" `Quick row_k_connecting_optimal;
+          Alcotest.test_case "row 5: UDG sparsity" `Quick row_udg_sparsity;
+          Alcotest.test_case "rows 6-7: low stretch linear" `Quick row_low_stretch_linear;
+          Alcotest.test_case "row 9: 2-connecting linear" `Quick row_two_connecting;
+        ] );
+      ( "propositions",
+        [
+          Alcotest.test_case "Prop 1 iff" `Quick prop1_iff;
+          Alcotest.test_case "Prop 5 iff" `Quick prop5_iff;
+        ] );
+      ( "narrative",
+        [
+          Alcotest.test_case "MPRs give shortest routes" `Quick mpr_shortest_routes;
+          Alcotest.test_case "greedy routing bound" `Quick greedy_routing_bound;
+          Alcotest.test_case "edge-connectivity remark" `Quick remark_edge_connectivity;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Tests for the periodic asynchronous protocol and its stabilization
+   bound (Section 2.3 remark: stabilizes within T + 2F after a
+   topology change). *)
+open Rs_graph
+module Periodic = Rs_distributed.Periodic
+
+let check = Alcotest.(check bool)
+
+(* dominating-tree construction used for the protocol: (2,0) greedy,
+   radius requirement 1 *)
+let tree20 g u = Rs_core.Dom_tree_k.gdy_k g ~k:1 u
+
+let tree_r3 g u = Rs_core.Dom_tree.gdy g ~r:3 ~beta:1 u
+
+let test_cold_start_converges () =
+  let g = Gen.cycle 10 in
+  let period = 4 and radius = 1 and horizon = 30 in
+  let res = Periodic.simulate ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of:tree20 in
+  (match res.Periodic.converged_at with
+  | None -> Alcotest.fail "never converged"
+  | Some t ->
+      (* cold start: everyone advertised within period, flood radius 1:
+         T + 2F with slack for staggering *)
+      check "cold start bound" true (t <= (2 * period) + (2 * radius) + 1));
+  check "stays converged" true res.Periodic.matched.(horizon - 1)
+
+let test_cold_start_radius3 () =
+  let g = Gen.grid 4 5 in
+  let period = 5 and radius = 3 and horizon = 40 in
+  let res = Periodic.simulate ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of:tree_r3 in
+  (match res.Periodic.converged_at with
+  | None -> Alcotest.fail "never converged"
+  | Some t -> check "bound" true (t <= (2 * period) + (2 * radius) + 1));
+  check "stays" true res.Periodic.matched.(horizon - 1)
+
+let test_edge_addition_stabilizes () =
+  let g = Gen.cycle 12 in
+  let period = 4 and radius = 1 and horizon = 60 in
+  let events = [ { Periodic.at = 30; add = [ (0, 6) ]; remove = [] } ] in
+  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+  check "was converged before the event" true res.Periodic.matched.(29);
+  (match res.Periodic.converged_at with
+  | None -> Alcotest.fail "never re-converged"
+  | Some t ->
+      (* T + 2F after the change, with stagger slack *)
+      check "stabilization bound" true (t <= 30 + (2 * period) + (2 * radius) + 1));
+  check "stays converged" true res.Periodic.matched.(horizon - 1)
+
+let test_edge_removal_stabilizes () =
+  let g = Gen.grid 3 5 in
+  let period = 4 and radius = 1 and horizon = 80 in
+  let events = [ { Periodic.at = 30; add = []; remove = [ (0, 1) ] } ] in
+  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+  (match res.Periodic.converged_at with
+  | None -> Alcotest.fail "never re-converged"
+  | Some t ->
+      (* removals may need soft-state expiry: 2T + 2F slack *)
+      check "stabilization bound" true (t <= 30 + (3 * period) + (2 * radius) + 1));
+  check "stays converged" true res.Periodic.matched.(horizon - 1)
+
+let test_multiple_events () =
+  let g = Gen.cycle 9 in
+  let period = 3 and radius = 1 and horizon = 70 in
+  let events =
+    [ { Periodic.at = 20; add = [ (0, 4) ]; remove = [] };
+      { Periodic.at = 40; add = [ (2, 7) ]; remove = [ (0, 4) ] } ]
+  in
+  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+  check "re-converges after both" true (res.Periodic.converged_at <> None);
+  check "final state good" true res.Periodic.matched.(horizon - 1)
+
+let test_messages_accounted () =
+  let g = Gen.cycle 8 in
+  let res =
+    Periodic.simulate ~initial:g ~events:[] ~period:4 ~radius:1 ~horizon:12
+      ~tree_of:tree20
+  in
+  (* every node originates 3 times over 12 rounds at 2 transmissions
+     each (degree 2, ttl=1 so no forwarding); the two offset-3 nodes'
+     last origination (round 11) is still in flight when the horizon
+     ends *)
+  Alcotest.(check int) "messages" (((8 * 3) - 2) * 2) res.Periodic.messages
+
+let test_rejects_bad_params () =
+  let g = Gen.cycle 5 in
+  check "period 0" true
+    (match Periodic.simulate ~initial:g ~events:[] ~period:0 ~radius:1 ~horizon:5 ~tree_of:tree20 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "periodic"
+    [
+      ( "stabilization",
+        [
+          Alcotest.test_case "cold start r=1" `Quick test_cold_start_converges;
+          Alcotest.test_case "cold start r=3" `Quick test_cold_start_radius3;
+          Alcotest.test_case "edge addition" `Quick test_edge_addition_stabilizes;
+          Alcotest.test_case "edge removal" `Quick test_edge_removal_stabilizes;
+          Alcotest.test_case "multiple events" `Quick test_multiple_events;
+          Alcotest.test_case "message accounting" `Quick test_messages_accounted;
+          Alcotest.test_case "bad params" `Quick test_rejects_bad_params;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the constructive Proposition-1 route (proof-as-code) and
+   the ASCII renderer. *)
+open Rs_graph
+open Rs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let udg seed n =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. 4.0) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  (pts, Rs_geometry.Unit_ball.udg pts)
+
+(* a path is a valid walk of H_u: consecutive edges in H, except edges
+   incident to the source which may be any G-edge *)
+let valid_in_hu g h u p =
+  Path.is_valid g p
+  &&
+  let rec ok = function
+    | a :: (b :: _ as rest) ->
+        (Edge_set.mem h a b || a = u || b = u) && Graph.mem_edge g a b && ok rest
+    | [ _ ] | [] -> true
+  in
+  ok p
+
+let graphs =
+  [
+    ("petersen", Gen.petersen ());
+    ("cycle12", Gen.cycle 12);
+    ("grid45", Gen.grid 4 5);
+    ("path9", Gen.path_graph 9);
+    ("udg", snd (udg 31 50));
+    ("er", Gen.erdos_renyi (Rand.create 33) 30 0.15);
+  ]
+
+let test_construct_meets_bound () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun r ->
+          let h = Remote_spanner.rem_span g ~r ~beta:1 in
+          Graph.iter_vertices
+            (fun u ->
+              let d = Bfs.dist g u in
+              Graph.iter_vertices
+                (fun v ->
+                  if v <> u && d.(v) > 0 then begin
+                    match Prop1_route.construct g h ~r u v with
+                    | None -> Alcotest.failf "%s r=%d: no route %d->%d" name r u v
+                    | Some p ->
+                        check (Printf.sprintf "%s r=%d %d->%d valid" name r u v) true
+                          (valid_in_hu g h u p);
+                        check_int "starts at u" u (Path.source p);
+                        check_int "ends at v" v (Path.target p);
+                        check
+                          (Printf.sprintf "%s r=%d %d->%d bound" name r u v)
+                          true
+                          (float_of_int (Path.length p)
+                          <= Prop1_route.bound ~r d.(v) +. 1e-9)
+                  end)
+                g)
+            g)
+        [ 2; 3 ])
+    graphs
+
+let test_construct_with_mis_trees () =
+  let _, g = udg 35 40 in
+  let r = 3 in
+  let h = Remote_spanner.low_stretch g ~eps:(1.0 /. float_of_int (r - 1)) in
+  Graph.iter_vertices
+    (fun u ->
+      let d = Bfs.dist g u in
+      Graph.iter_vertices
+        (fun v ->
+          if v <> u && d.(v) > 1 then
+            match Prop1_route.construct g h ~r u v with
+            | None -> Alcotest.fail "route must exist"
+            | Some p ->
+                check "bound" true
+                  (float_of_int (Path.length p) <= Prop1_route.bound ~r d.(v) +. 1e-9))
+        g)
+    g
+
+let test_construct_never_shorter_than_distance () =
+  let g = Gen.grid 4 4 in
+  let h = Remote_spanner.rem_span g ~r:2 ~beta:1 in
+  Graph.iter_vertices
+    (fun u ->
+      let d = Bfs.dist g u in
+      Graph.iter_vertices
+        (fun v ->
+          if v <> u then
+            match Prop1_route.construct g h ~r:2 u v with
+            | Some p -> check "len >= d" true (Path.length p >= d.(v))
+            | None -> ())
+        g)
+    g
+
+let test_construct_unreachable () =
+  let g = Graph.make ~n:4 [ (0, 1); (2, 3) ] in
+  let h = Edge_set.full g in
+  check "unreachable" true (Prop1_route.construct g h ~r:2 0 3 = None)
+
+let test_construct_adjacent_and_self () =
+  let g = Gen.cycle 5 in
+  let h = Edge_set.create g in
+  Alcotest.(check (option (list int))) "adjacent" (Some [ 0; 1 ])
+    (Prop1_route.construct g h ~r:2 0 1);
+  Alcotest.(check (option (list int))) "self" (Some [ 2 ])
+    (Prop1_route.construct g h ~r:2 2 2)
+
+let test_construct_fails_on_bad_h () =
+  (* empty H cannot dominate distance-2 nodes on a cycle *)
+  let g = Gen.cycle 8 in
+  let h = Edge_set.create g in
+  check "no route" true (Prop1_route.construct g h ~r:2 0 4 = None)
+
+let test_bound_values () =
+  (* r=2: eps=1: 2l - 1 *)
+  Alcotest.(check (float 1e-9)) "r=2 l=2" 3.0 (Prop1_route.bound ~r:2 2);
+  Alcotest.(check (float 1e-9)) "r=2 l=5" 9.0 (Prop1_route.bound ~r:2 5);
+  (* r=3: eps=1/2: 1.5l *)
+  Alcotest.(check (float 1e-9)) "r=3 l=4" 6.0 (Prop1_route.bound ~r:3 4)
+
+(* ---------------------------------------------------------------- *)
+(* Render *)
+
+let test_render_shapes () =
+  let pts, g = udg 37 20 in
+  let s = Rs_geometry.Render.render ~width:40 ~height:12 pts g in
+  let lines = String.split_on_char '\n' s in
+  check_int "height" 12 (List.length lines);
+  List.iter (fun l -> check_int "width" 40 (String.length l)) lines
+
+let test_render_highlights_spanner () =
+  let pts, g = udg 39 15 in
+  let h = Remote_spanner.exact_distance g in
+  let s = Rs_geometry.Render.render ~spanner:h pts g in
+  check "has spanner glyph" true (String.contains s '#')
+
+let test_render_empty () =
+  let s = Rs_geometry.Render.render [||] (Gen.empty 0) in
+  check "renders" true (String.length s >= 0)
+
+let test_render_rejects_3d () =
+  let pts = [| [| 0.0; 0.0; 0.0 |] |] in
+  check "rejects" true
+    (match Rs_geometry.Render.render pts (Gen.empty 1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "prop1"
+    [
+      ( "construct",
+        [
+          Alcotest.test_case "meets the bound everywhere" `Slow test_construct_meets_bound;
+          Alcotest.test_case "with MIS trees" `Quick test_construct_with_mis_trees;
+          Alcotest.test_case "never beats d_G" `Quick test_construct_never_shorter_than_distance;
+          Alcotest.test_case "unreachable" `Quick test_construct_unreachable;
+          Alcotest.test_case "adjacent / self" `Quick test_construct_adjacent_and_self;
+          Alcotest.test_case "fails on bad H" `Quick test_construct_fails_on_bad_h;
+          Alcotest.test_case "bound values" `Quick test_bound_values;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "canvas shape" `Quick test_render_shapes;
+          Alcotest.test_case "spanner glyph" `Quick test_render_highlights_spanner;
+          Alcotest.test_case "empty input" `Quick test_render_empty;
+          Alcotest.test_case "rejects 3-D" `Quick test_render_rejects_3d;
+        ] );
+    ]

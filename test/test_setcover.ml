@@ -1,0 +1,141 @@
+(* Tests for greedy and exact set cover / k-multicover. *)
+open Rs_setcover
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let inst universe sets = { Setcover.universe; sets = Array.map Array.of_list (Array.of_list sets) }
+
+let test_demand_cap () =
+  let i = inst 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 1 ] ] in
+  Alcotest.(check (array int)) "caps" [| 1; 3; 1 |] (Setcover.demand_cap i)
+
+let test_demand_cap_dup_elements () =
+  (* duplicates inside a set count once *)
+  let i = inst 2 [ [ 0; 0; 1 ] ] in
+  Alcotest.(check (array int)) "caps" [| 1; 1 |] (Setcover.demand_cap i)
+
+let test_greedy_covers () =
+  let i = inst 5 [ [ 0; 1 ]; [ 1; 2; 3 ]; [ 3; 4 ]; [ 0; 4 ] ] in
+  let picks = Setcover.greedy i in
+  check "is cover" true (Setcover.is_cover i ~k:1 picks)
+
+let test_greedy_prefers_big_set () =
+  let i = inst 4 [ [ 0 ]; [ 0; 1; 2; 3 ]; [ 1 ] ] in
+  Alcotest.(check (list int)) "single pick" [ 1 ] (Setcover.greedy i)
+
+let test_greedy_ignores_uncoverable () =
+  let i = inst 3 [ [ 0 ] ] in
+  let picks = Setcover.greedy i in
+  check "covers what it can" true (Setcover.is_cover i ~k:1 picks);
+  check_int "one set" 1 (List.length picks)
+
+let test_greedy_empty_universe () =
+  let i = inst 0 [ [] ] in
+  Alcotest.(check (list int)) "nothing" [] (Setcover.greedy i)
+
+let test_multicover_demands () =
+  let i = inst 2 [ [ 0; 1 ]; [ 0; 1 ]; [ 0 ] ] in
+  let picks = Setcover.greedy_multicover i ~k:2 in
+  check "2-cover" true (Setcover.is_cover i ~k:2 picks);
+  check_int "needs both big sets" 2 (List.length picks)
+
+let test_multicover_capped_demand () =
+  (* element 1 appears in one set only: demand capped at 1 *)
+  let i = inst 2 [ [ 0 ]; [ 0 ]; [ 0; 1 ] ] in
+  let picks = Setcover.greedy_multicover i ~k:3 in
+  check "cover ok" true (Setcover.is_cover i ~k:3 picks);
+  check_int "all three sets" 3 (List.length picks)
+
+let test_is_cover_negative () =
+  let i = inst 2 [ [ 0 ]; [ 1 ] ] in
+  check "partial is not cover" false (Setcover.is_cover i ~k:1 [ 0 ])
+
+let test_exact_minimum () =
+  (* greedy can be fooled; exact must find the 2-set cover *)
+  let i =
+    inst 6 [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 5 ] ]
+  in
+  match Setcover.exact i ~k:1 with
+  | None -> Alcotest.fail "exact exhausted"
+  | Some picks ->
+      check_int "optimum 2" 2 (List.length picks);
+      check "is cover" true (Setcover.is_cover i ~k:1 picks)
+
+let test_exact_matches_greedy_when_tight () =
+  let i = inst 3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  match Setcover.exact i ~k:1 with
+  | None -> Alcotest.fail "exhausted"
+  | Some picks -> check_int "needs all" 3 (List.length picks)
+
+let test_exact_multicover () =
+  let i = inst 2 [ [ 0; 1 ]; [ 0; 1 ]; [ 0 ]; [ 1 ] ] in
+  match Setcover.exact i ~k:2 with
+  | None -> Alcotest.fail "exhausted"
+  | Some picks ->
+      check_int "two sets suffice" 2 (List.length picks);
+      check "valid" true (Setcover.is_cover i ~k:2 picks)
+
+let test_exact_never_worse_than_greedy () =
+  let rand = Rs_graph.Rand.create 42 in
+  for _trial = 1 to 25 do
+    let universe = 1 + Rs_graph.Rand.int rand 8 in
+    let nsets = 1 + Rs_graph.Rand.int rand 8 in
+    let sets =
+      List.init nsets (fun _ ->
+          List.filter (fun _ -> Rs_graph.Rand.bool rand) (List.init universe Fun.id))
+    in
+    let i = inst universe sets in
+    let greedy = Setcover.greedy i in
+    match Setcover.exact i ~k:1 with
+    | None -> Alcotest.fail "exhausted on tiny instance"
+    | Some opt ->
+        check "exact <= greedy" true (List.length opt <= List.length greedy);
+        check "exact is cover" true (Setcover.is_cover i ~k:1 opt)
+  done
+
+let test_exact_ratio_bound () =
+  (* greedy within 1 + ln(n) of optimum on random instances *)
+  let rand = Rs_graph.Rand.create 43 in
+  for _trial = 1 to 15 do
+    let universe = 6 + Rs_graph.Rand.int rand 6 in
+    let nsets = 6 + Rs_graph.Rand.int rand 6 in
+    let sets =
+      List.init nsets (fun _ ->
+          List.filter (fun _ -> Rs_graph.Rand.int rand 3 = 0) (List.init universe Fun.id))
+    in
+    let i = inst universe sets in
+    let greedy = Setcover.greedy i in
+    match Setcover.exact i ~k:1 with
+    | None -> ()
+    | Some opt ->
+        if opt <> [] then begin
+          let ratio = float_of_int (List.length greedy) /. float_of_int (List.length opt) in
+          check "chvatal ratio" true (ratio <= 1.0 +. log (float_of_int universe) +. 1e-9)
+        end
+  done
+
+let () =
+  Alcotest.run "setcover"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "demand cap" `Quick test_demand_cap;
+          Alcotest.test_case "demand cap dups" `Quick test_demand_cap_dup_elements;
+          Alcotest.test_case "covers" `Quick test_greedy_covers;
+          Alcotest.test_case "prefers big set" `Quick test_greedy_prefers_big_set;
+          Alcotest.test_case "ignores uncoverable" `Quick test_greedy_ignores_uncoverable;
+          Alcotest.test_case "empty universe" `Quick test_greedy_empty_universe;
+          Alcotest.test_case "multicover demands" `Quick test_multicover_demands;
+          Alcotest.test_case "multicover capped" `Quick test_multicover_capped_demand;
+          Alcotest.test_case "is_cover negative" `Quick test_is_cover_negative;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "finds optimum" `Quick test_exact_minimum;
+          Alcotest.test_case "tight instance" `Quick test_exact_matches_greedy_when_tight;
+          Alcotest.test_case "multicover" `Quick test_exact_multicover;
+          Alcotest.test_case "never worse than greedy" `Quick test_exact_never_worse_than_greedy;
+          Alcotest.test_case "greedy ratio vs optimum" `Quick test_exact_ratio_bound;
+        ] );
+    ]

@@ -1,0 +1,250 @@
+(* Tests for Lemma 2's executable path surgery. *)
+open Rs_graph
+open Rs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let udg seed n =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. 4.0) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  Rs_geometry.Unit_ball.udg pts
+
+(* the tuple is a valid optimal witness inside H_s *)
+let witness_ok g h ~k s t paths =
+  let k' = min k (Disjoint_paths.max_disjoint g s t) in
+  check_int "path count" k' (List.length paths);
+  List.iter
+    (fun p ->
+      check "valid in G" true (Path.is_valid g p);
+      check_int "source" s (Path.source p);
+      check_int "target" t (Path.target p);
+      check "outside <= 1" true (Surgery.outside_count h p <= 1))
+    paths;
+  check "disjoint" true (Path.pairwise_disjoint paths);
+  let total = List.fold_left (fun acc p -> acc + Path.length p) 0 paths in
+  match Disjoint_paths.dk g ~k:k' s t with
+  | Some d -> check_int "total = d^k'" d total
+  | None -> Alcotest.fail "dk must exist"
+
+let test_outside_count () =
+  let g = Gen.path_graph 5 in
+  let h = Edge_set.create g in
+  Edge_set.add h 2 3;
+  Edge_set.add h 3 4;
+  check_int "two leading edges out" 2 (Surgery.outside_count h [ 0; 1; 2; 3; 4 ]);
+  Edge_set.add h 1 2;
+  check_int "one out" 1 (Surgery.outside_count h [ 0; 1; 2; 3; 4 ]);
+  Edge_set.add h 0 1;
+  check_int "all in" 0 (Surgery.outside_count h [ 0; 1; 2; 3; 4 ]);
+  let h2 = Edge_set.create g in
+  Edge_set.add h2 0 1;
+  check_int "last edge out" 4 (Surgery.outside_count h2 [ 0; 1; 2; 3; 4 ]);
+  check_int "single vertex" 0 (Surgery.outside_count h2 [ 3 ])
+
+let test_step_reduces_outside () =
+  (* K_{2,4}: s=0, t=1, 4 common neighbors; H = k_connecting k=2 *)
+  let g = Gen.complete_bipartite 2 4 in
+  let h = Remote_spanner.k_connecting g ~k:2 in
+  match Disjoint_paths.min_sum_paths g ~k:2 0 1 with
+  | None -> Alcotest.fail "paths exist"
+  | Some paths ->
+      let rec drive paths n =
+        match Surgery.lemma2_step g h ~k:2 paths with
+        | None -> (paths, n)
+        | Some p' ->
+            let before = List.fold_left (fun a p -> a + Surgery.outside_count h p) 0 paths in
+            let after = List.fold_left (fun a p -> a + Surgery.outside_count h p) 0 p' in
+            check "outside decreases" true (after < before);
+            drive p' (n + 1)
+      in
+      let final, _ = drive paths 0 in
+      List.iter (fun p -> check "settled" true (Surgery.outside_count h p <= 1)) final
+
+let graphs_for_theorem2 =
+  [
+    ("petersen", Gen.petersen ());
+    ("k33", Gen.complete_bipartite 3 3);
+    ("theta35", Gen.theta 3 5);
+    ("grid34", Gen.grid 3 4);
+    ("udg25", udg 41 25);
+    ("er18", Gen.erdos_renyi (Rand.create 43) 18 0.35);
+    ("hypercube3", Gen.hypercube 3);
+  ]
+
+let test_theorem2_paths_all_pairs () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let h = Remote_spanner.k_connecting g ~k in
+          Graph.iter_vertices
+            (fun s ->
+              Graph.iter_vertices
+                (fun t ->
+                  if s <> t && not (Graph.mem_edge g s t)
+                     && Disjoint_paths.max_disjoint g s t > 0 then begin
+                    match Surgery.theorem2_paths g h ~k s t with
+                    | None -> Alcotest.failf "%s k=%d: surgery failed %d->%d" name k s t
+                    | Some paths -> witness_ok g h ~k s t paths
+                  end)
+                g)
+            g)
+        [ 1; 2 ])
+    graphs_for_theorem2
+
+let test_theorem2_paths_k3 () =
+  let g = Gen.complete_bipartite 4 4 in
+  let h = Remote_spanner.k_connecting g ~k:3 in
+  match Surgery.theorem2_paths g h ~k:3 0 1 with
+  | None -> Alcotest.fail "surgery failed"
+  | Some paths -> witness_ok g h ~k:3 0 1 paths
+
+let test_theorem2_rejects_adjacent () =
+  let g = Gen.cycle 5 in
+  let h = Edge_set.full g in
+  check "adjacent" true (Surgery.theorem2_paths g h ~k:2 0 1 = None);
+  check "self" true (Surgery.theorem2_paths g h ~k:2 2 2 = None)
+
+let test_theorem2_fails_on_bad_h () =
+  (* an empty H cannot absorb the paths (except trivially short ones) *)
+  let g = Gen.cycle 8 in
+  let h = Edge_set.create g in
+  check "no witness" true (Surgery.theorem2_paths g h ~k:1 0 4 = None)
+
+let test_surgery_agrees_with_flow_checker () =
+  (* both roads to Theorem 2 must agree: surgery succeeds exactly when
+     the flow checker validates the pair *)
+  let g = Gen.erdos_renyi (Rand.create 47) 14 0.3 in
+  let h = Remote_spanner.k_connecting g ~k:2 in
+  Graph.iter_vertices
+    (fun s ->
+      Graph.iter_vertices
+        (fun t ->
+          if s <> t && not (Graph.mem_edge g s t)
+             && Disjoint_paths.max_disjoint g s t > 0 then begin
+            let by_surgery = Surgery.theorem2_paths g h ~k:2 s t <> None in
+            let by_flow =
+              Verify.is_k_connecting ~pairs:[ (s, t) ] g h ~alpha:1.0 ~beta:0.0 ~k:2
+            in
+            check (Printf.sprintf "agree %d-%d" s t) true (by_surgery = by_flow)
+          end)
+        g)
+    g
+
+(* ---------------------------------------------------------------- *)
+(* Lemma 1 / Proposition 4 *)
+
+let prop4_witness_ok g h s t (p, q) =
+  check "valid p" true (Path.is_valid g p);
+  check "valid q" true (Path.is_valid g q);
+  check_int "p src" s (Path.source p);
+  check_int "q src" s (Path.source q);
+  check_int "p dst" t (Path.target p);
+  check_int "q dst" t (Path.target q);
+  check "disjoint" true (Path.pairwise_disjoint [ p; q ]);
+  check "p in H_s" true (Surgery.outside_count h p <= 1);
+  check "q in H_s" true (Surgery.outside_count h q <= 1);
+  let l = Option.get (Disjoint_paths.dk g ~k:2 s t) in
+  check "2-connecting stretch" true (Path.length p + Path.length q <= (2 * l) - 2)
+
+let graphs_for_prop4 =
+  [
+    ("petersen", Gen.petersen ());
+    ("k33", Gen.complete_bipartite 3 3);
+    ("theta25", Gen.theta 2 5);
+    ("grid34", Gen.grid 3 4);
+    ("udg25", udg 9 25);
+    ("er18", Gen.erdos_renyi (Rand.create 5) 18 0.35);
+    ("cycle9", Gen.cycle 9);
+    ("hypercube3", Gen.hypercube 3);
+  ]
+
+let test_prop4_paths_all_pairs () =
+  List.iter
+    (fun (name, g) ->
+      let h = Remote_spanner.two_connecting g in
+      Graph.iter_vertices
+        (fun s ->
+          Graph.iter_vertices
+            (fun t ->
+              if s <> t && (not (Graph.mem_edge g s t))
+                 && Disjoint_paths.max_disjoint g s t >= 2 then begin
+                match Surgery.prop4_paths g h s t with
+                | None -> Alcotest.failf "%s: prop4 surgery failed %d->%d" name s t
+                | Some pair -> prop4_witness_ok g h s t pair
+              end)
+            g)
+        g)
+    graphs_for_prop4
+
+let test_lemma1_step_monotone () =
+  (* every step: sum grows by at most 1, total outside strictly drops *)
+  let g = udg 9 25 in
+  let h = Remote_spanner.two_connecting g in
+  let checked = ref 0 in
+  Graph.iter_vertices
+    (fun s ->
+      Graph.iter_vertices
+        (fun t ->
+          if !checked < 40 && s <> t && (not (Graph.mem_edge g s t))
+             && Disjoint_paths.max_disjoint g s t >= 2 then begin
+            match Disjoint_paths.min_sum_paths g ~k:2 s t with
+            | Some [ p; q ] ->
+                let rec drive pair fuel =
+                  if fuel = 0 then ()
+                  else
+                    let out pr =
+                      Surgery.outside_count h (fst pr) + Surgery.outside_count h (snd pr)
+                    in
+                    let sum pr = Path.length (fst pr) + Path.length (snd pr) in
+                    match Surgery.lemma1_step g h pair with
+                    | None -> ()
+                    | Some pair' ->
+                        incr checked;
+                        check "sum +<=1" true (sum pair' <= sum pair + 1);
+                        check "outside drops" true (out pair' < out pair);
+                        check "still disjoint" true
+                          (Path.pairwise_disjoint [ fst pair'; snd pair' ]);
+                        drive pair' (fuel - 1)
+                in
+                drive (p, q) 20
+            | _ -> ()
+          end)
+        g)
+    g;
+  check "exercised steps" true (!checked > 0)
+
+let test_prop4_rejects_adjacent () =
+  let g = Gen.cycle 6 in
+  check "adjacent" true (Surgery.prop4_paths g (Edge_set.full g) 0 1 = None);
+  check "not 2-connected" true
+    (Surgery.prop4_paths (Gen.path_graph 5) (Edge_set.full (Gen.path_graph 5)) 0 4 = None)
+
+let test_prop4_fails_on_empty_h () =
+  let g = Gen.cycle 8 in
+  let h = Edge_set.create g in
+  check "no witness" true (Surgery.prop4_paths g h 0 4 = None)
+
+let () =
+  Alcotest.run "surgery"
+    [
+      ( "lemma1",
+        [
+          Alcotest.test_case "prop4 all pairs" `Slow test_prop4_paths_all_pairs;
+          Alcotest.test_case "step monotone" `Quick test_lemma1_step_monotone;
+          Alcotest.test_case "rejects adjacent" `Quick test_prop4_rejects_adjacent;
+          Alcotest.test_case "fails on empty H" `Quick test_prop4_fails_on_empty_h;
+        ] );
+      ( "lemma2",
+        [
+          Alcotest.test_case "outside count" `Quick test_outside_count;
+          Alcotest.test_case "step reduces outside" `Quick test_step_reduces_outside;
+          Alcotest.test_case "theorem2 all pairs" `Slow test_theorem2_paths_all_pairs;
+          Alcotest.test_case "theorem2 k=3" `Quick test_theorem2_paths_k3;
+          Alcotest.test_case "rejects adjacent/self" `Quick test_theorem2_rejects_adjacent;
+          Alcotest.test_case "fails on bad H" `Quick test_theorem2_fails_on_bad_h;
+          Alcotest.test_case "agrees with flow checker" `Slow test_surgery_agrees_with_flow_checker;
+        ] );
+    ]
