@@ -643,7 +643,7 @@ let e15_stabilization () =
   let module P = Rs_distributed.Periodic in
   let run name g period radius change_name events slack =
     let horizon = 60 + List.fold_left (fun a (e : P.event) -> max a e.P.at) 0 events in
-    let res = P.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+    let res = P.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 () in
     let event_at = List.fold_left (fun a (e : P.event) -> max a e.P.at) 0 events in
     match res.P.converged_at with
     | None -> ignore (record_check ("E15 " ^ name ^ change_name) false)

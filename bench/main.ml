@@ -4,7 +4,28 @@
      dune exec bench/main.exe               run everything (E1..E12 + timings)
      dune exec bench/main.exe -- e3 e4      run selected experiments
      dune exec bench/main.exe -- timings    run only the Bechamel timings
-     dune exec bench/main.exe -- quick      experiments only, no timings *)
+     dune exec bench/main.exe -- quick      experiments only, no timings
+
+   Timing runs also write BENCH_timings.json (benchmark name ->
+   ns/run) to the working directory for machine consumption (CI
+   artifacts, regression tracking). *)
+
+let write_timings_json rows =
+  let file = "BENCH_timings.json" in
+  let json =
+    Rs_obs.Json.Obj
+      (List.map
+         (fun (name, ns) ->
+           (name, if Float.is_nan ns then Rs_obs.Json.Null else Rs_obs.Json.Float ns))
+         rows)
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Rs_obs.Json.to_string ~pretty:true json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d benchmarks)\n" file (List.length rows)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -12,7 +33,7 @@ let () =
   let selected name = args = [] || List.mem "quick" args || List.mem name args in
   print_endline "Remote-Spanners reproduction harness (Jacquet & Viennot, RR-6679 / IPDPS'09)";
   List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
-  if run_timings && not (List.mem "quick" args) then Timings.run ();
+  if run_timings && not (List.mem "quick" args) then write_timings_json (Timings.run ());
   Printf.printf "\n%s\n"
     (if !Support.failures = 0 then "ALL EXPERIMENT CHECKS PASSED"
      else Printf.sprintf "%d EXPERIMENT CHECKS FAILED" !Support.failures);

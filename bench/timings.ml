@@ -53,6 +53,8 @@ let tests () =
       (stage (fun () -> Parallel.two_connecting ~domains:4 udg));
   ]
 
+(* Runs the grouped benchmarks, prints the human table, and returns the
+   (name, ns/run) rows so main can also emit BENCH_timings.json. *)
 let run () =
   Support.section "Timings (Bechamel, monotonic clock, ns/run)";
   let grouped = Test.make_grouped ~name:"remote-spanner" (tests ()) in
@@ -82,4 +84,5 @@ let run () =
         else Printf.sprintf "%.0f ns" ns
       in
       Support.print_row cols [ name; human ])
-    rows
+    rows;
+  rows

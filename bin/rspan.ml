@@ -7,17 +7,58 @@
      rspan build --algo low-stretch --eps 0.5 g.txt -o h.txt
      rspan verify --alpha 1.5 --beta 0 g.txt h.txt
      rspan verify --alpha 1 --beta 0 -k 2 g.txt h.txt
-     rspan stats g.txt
+     rspan stats g.txt [h.txt]
+     rspan profile --algo low-stretch --eps 0.5 g.txt
+     rspan sim --radius 2 --trace t.jsonl g.txt
      rspan route --src 0 --dst 42 g.txt h.txt
-     rspan dot g.txt h.txt -o g.dot *)
+     rspan dot g.txt h.txt -o g.dot
+
+   Every command accepts --stats[=FILE] to enable the metrics registry
+   and dump it on exit (human table to stderr, or JSON to FILE). *)
 
 open Cmdliner
 open Rs_graph
 open Rs_core
+module Obs = Rs_obs.Obs
+module Json = Rs_obs.Json
+module Trace = Rs_obs.Trace
 
 let read_graph path =
   try Ok (Graph_io.load path)
   with Failure msg | Sys_error msg -> Error (`Msg msg)
+
+(* ------------------------------------------------------------------ *)
+(* --stats[=FILE]: global observability switch, dumped at exit *)
+
+let obs_setup dest =
+  match dest with
+  | None -> ()
+  | Some dest ->
+      Obs.set_enabled true;
+      at_exit (fun () ->
+          match dest with
+          | "-" -> prerr_string (Obs.to_table ())
+          | path -> (
+              try
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc (Json.to_string ~pretty:true (Obs.to_json ()));
+                    output_char oc '\n')
+              with Sys_error msg -> Printf.eprintf "rspan: cannot write stats: %s\n" msg))
+
+let obs_term =
+  let arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Enable in-library metrics; on exit print a human-readable table to \
+             stderr, or write JSON to $(docv) when given.")
+  in
+  Term.(const obs_setup $ arg)
 
 let graph_conv = Arg.conv (read_graph, fun fmt _ -> Format.fprintf fmt "<graph>")
 
@@ -56,7 +97,7 @@ let gen_cmd =
     Arg.(value & opt (some string) None
          & info [ "coords" ] ~docv:"FILE" ~doc:"For udg: also save point coordinates (for 'rspan render').")
   in
-  let run family n seed p density k coords output =
+  let run () family n seed p density k coords output =
     let rand = Rand.create seed in
     let g =
       match family with
@@ -81,7 +122,9 @@ let gen_cmd =
     Ok ()
   in
   let term =
-    Term.(term_result (const run $ family $ n $ seed $ p $ density $ k $ coords $ output_arg))
+    Term.(
+      term_result
+        (const run $ obs_term $ family $ n $ seed $ p $ density $ k $ coords $ output_arg))
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a graph.") term
 
@@ -95,41 +138,127 @@ let algo_enum =
     ("baswana-sen", `Baswana); ("additive2", `Additive2); ("bfs-tree", `Bfs_tree); ("edge-two-connecting", `Edge_two);
     ("full", `Full) ]
 
+let build_algo algo ~eps ~k ~seed g =
+  match algo with
+  | `Exact -> Remote_spanner.exact_distance g
+  | `Low_stretch -> Remote_spanner.low_stretch g ~eps
+  | `Low_stretch_gdy -> Remote_spanner.rem_span g ~r:(Remote_spanner.r_of_eps eps) ~beta:1
+  | `K_connecting -> Remote_spanner.k_connecting g ~k
+  | `Two_connecting -> Remote_spanner.two_connecting g
+  | `Edge_two -> Extensions.edge_two_connecting g
+  | `K_connecting_mis -> Remote_spanner.k_connecting_mis g ~k
+  | `Mpr -> Mpr.relay_union g Mpr.select
+  | `Greedy -> Baseline.greedy_spanner g ~k
+  | `Baswana -> Baseline.baswana_sen (Rand.create seed) g ~k
+  | `Additive2 -> Baseline.additive2 g
+  | `Bfs_tree -> Baseline.bfs_tree g ~root:0
+  | `Full -> Baseline.full g
+
+let algo_arg =
+  Arg.(value & opt (enum algo_enum) `Exact
+       & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"Construction: exact (1,0)-RS, low-stretch / low-stretch-gdy (1+eps,1-2eps)-RS, k-connecting (1,0)-RS, two-connecting / k-connecting-mis (2,-1)-RS, edge-two-connecting, mpr, greedy-spanner, baswana-sen, additive2, bfs-tree, full.")
+
+let eps_arg = Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Stretch parameter for low-stretch.")
+let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Connectivity / stretch parameter.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomized baselines.")
+
 let build_cmd =
-  let algo =
-    Arg.(value & opt (enum algo_enum) `Exact
-         & info [ "algo" ] ~docv:"ALGO"
-             ~doc:"Construction: exact (1,0)-RS, low-stretch / low-stretch-gdy (1+eps,1-2eps)-RS, k-connecting (1,0)-RS, two-connecting / k-connecting-mis (2,-1)-RS, edge-two-connecting, mpr, greedy-spanner, baswana-sen, additive2, bfs-tree, full.")
-  in
-  let eps = Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Stretch parameter for low-stretch.") in
-  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Connectivity / stretch parameter.") in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomized baselines.") in
-  let run algo eps k seed g output =
-    let h =
-      match algo with
-      | `Exact -> Remote_spanner.exact_distance g
-      | `Low_stretch -> Remote_spanner.low_stretch g ~eps
-      | `Low_stretch_gdy ->
-          Remote_spanner.rem_span g ~r:(Remote_spanner.r_of_eps eps) ~beta:1
-      | `K_connecting -> Remote_spanner.k_connecting g ~k
-      | `Two_connecting -> Remote_spanner.two_connecting g
-      | `Edge_two -> Extensions.edge_two_connecting g
-      | `K_connecting_mis -> Remote_spanner.k_connecting_mis g ~k
-      | `Mpr -> Mpr.relay_union g Mpr.select
-      | `Greedy -> Baseline.greedy_spanner g ~k
-      | `Baswana -> Baseline.baswana_sen (Rand.create seed) g ~k
-      | `Additive2 -> Baseline.additive2 g
-      | `Bfs_tree -> Baseline.bfs_tree g ~root:0
-      | `Full -> Baseline.full g
-    in
+  let run () algo eps k seed g output =
+    let h = build_algo algo ~eps ~k ~seed g in
     emit output (Graph_io.to_string (Edge_set.to_graph h));
     Logs.app (fun m ->
         m "spanner: %d of %d edges (%.1f%%)" (Edge_set.cardinal h) (Graph.m g)
           (100.0 *. float_of_int (Edge_set.cardinal h) /. float_of_int (max 1 (Graph.m g))));
     Ok ()
   in
-  let term = Term.(term_result (const run $ algo $ eps $ k $ seed $ graph_arg 0 $ output_arg)) in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ seed_arg $ graph_arg 0
+       $ output_arg))
+  in
   Cmd.v (Cmd.info "build" ~doc:"Build a remote-spanner or baseline spanner.") term
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let run () algo eps k seed g output =
+    (* full instrumentation regardless of --stats; JSON to stdout (or
+       -o FILE) so it can be piped straight into schema checks, human
+       summary to stderr. *)
+    Obs.set_enabled true;
+    Obs.reset ();
+    let t0 = Obs.now () in
+    let h = Obs.with_span "profile" (fun () -> build_algo algo ~eps ~k ~seed g) in
+    let dt = Obs.now () -. t0 in
+    Obs.set_gauge (Obs.gauge "profile/spanner_edges")
+      (float_of_int (Edge_set.cardinal h));
+    Obs.set_gauge (Obs.gauge "profile/graph_n") (float_of_int (Graph.n g));
+    Obs.set_gauge (Obs.gauge "profile/graph_m") (float_of_int (Graph.m g));
+    emit output (Json.to_string ~pretty:true (Obs.to_json ()) ^ "\n");
+    (* stdout carries only the JSON (pipeable into schema checks);
+       the human summary goes to stderr *)
+    prerr_string (Obs.to_table ());
+    Printf.eprintf "profiled build: %d of %d edges in %.1f ms\n" (Edge_set.cardinal h)
+      (Graph.m g) (1e3 *. dt);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ seed_arg $ graph_arg 0
+       $ output_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Build a spanner under full instrumentation and emit the JSON metrics \
+          registry (stdout, or -o FILE); spans, counters and histograms included.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sim *)
+
+let sim_cmd =
+  let radius = Arg.(value & opt int 2 & info [ "radius" ] ~doc:"Flooding radius (rounds).") in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL event trace of the run.")
+  in
+  let run () radius trace g =
+    match Option.map Trace.to_file trace with
+    | exception Sys_error msg -> Error (`Msg msg)
+    | sink ->
+    let finish () = Option.iter Trace.close sink in
+    match Rs_distributed.Sim.collect_neighborhoods ?trace:sink g ~radius with
+    | exception e ->
+        finish ();
+        raise e
+    | _views, stats ->
+        finish ();
+        let module Sim = Rs_distributed.Sim in
+        Logs.app (fun m ->
+            m "collect radius=%d: rounds=%d messages=%d payload=%d" radius
+              stats.Sim.rounds stats.Sim.messages stats.Sim.payload);
+        Logs.app (fun m ->
+            m "busiest round: %d messages, %d payload; halted nodes: %d"
+              stats.Sim.max_round_messages stats.Sim.max_round_payload
+              stats.Sim.halted_nodes);
+        Option.iter
+          (fun f -> Logs.app (fun m -> m "trace: %s (%d events)" f
+                                 (match sink with Some s -> Trace.events s | None -> 0)))
+          trace;
+        Ok ()
+  in
+  let term = Term.(term_result (const run $ obs_term $ radius $ trace $ graph_arg 0)) in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Run the LOCAL-model neighborhood collection (phase 1 of RemSpan) and \
+          report traffic statistics; --trace captures a replayable JSONL event log.")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -153,7 +282,7 @@ let verify_cmd =
   let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Check k-connecting stretch up to k (k=1: plain remote-spanner).") in
   let edge = Arg.(value & flag & info [ "edge" ] ~doc:"With -k: use edge-disjoint paths instead of vertex-disjoint.") in
   let spanner_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Spanner edge file.") in
-  let run alpha beta k edge g spanner_file =
+  let run () alpha beta k edge g spanner_file =
     match edge_set_of g spanner_file with
     | Error e -> Error e
     | Ok h ->
@@ -182,14 +311,24 @@ let verify_cmd =
           Error (`Msg "stretch violated")
         end
   in
-  let term = Term.(term_result (const run $ alpha $ beta $ k $ edge $ graph_arg 0 $ spanner_file)) in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ alpha $ beta $ k $ edge $ graph_arg 0 $ spanner_file))
+  in
   Cmd.v (Cmd.info "verify" ~doc:"Verify the (alpha, beta)[, k-connecting] remote-spanner property.") term
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
 
 let stats_cmd =
-  let run g =
+  let spanner_file =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"SPANNER"
+             ~doc:"Optional spanner: also report its edge count against the Theorem-2 \
+                   2(1+log Delta) approximation bound.")
+  in
+  let run () g spanner_file =
     let degrees = Graph.fold_vertices (fun acc u -> Graph.degree g u :: acc) [] g in
     let avg_deg =
       if degrees = [] then 0.0
@@ -200,10 +339,40 @@ let stats_cmd =
                  (Connectivity.min_degree g));
     Logs.app (fun m -> m "components=%d diameter=%d" (Connectivity.component_count g)
                  (Bfs.diameter g));
-    Ok ()
+    match spanner_file with
+    | None -> Ok ()
+    | Some file -> (
+        match edge_set_of g file with
+        | Error e -> Error e
+        | Ok h ->
+            (* Theorem 2: the greedy construction's edge count is within
+               a factor 2(1 + log Delta) of the optimal k-connecting
+               (1,0)-RS, so edges / factor lower-bounds the optimum. *)
+            let edges = Edge_set.cardinal h in
+            let delta = max 2 (Graph.max_degree g) in
+            let factor = 2.0 *. (1.0 +. log (float_of_int delta)) in
+            Logs.app (fun m ->
+                m "spanner: %d of %d edges (%.1f%%)" edges (Graph.m g)
+                  (100.0 *. float_of_int edges /. float_of_int (max 1 (Graph.m g))));
+            Logs.app (fun m ->
+                m "Th.2 bound: 2(1+log Delta) = %.2f (Delta = %d); implied optimum >= %.0f edges"
+                  factor delta
+                  (Float.ceil (float_of_int edges /. factor)));
+            if Graph.n g <= 64 then begin
+              let lb = Optimal.lower_bound_trivial g ~k:1 in
+              Logs.app (fun m ->
+                  m "exact multicover lower bound: %d edges (ratio <= %.2f, bound %.2f)"
+                    lb
+                    (float_of_int edges /. float_of_int (max 1 lb))
+                    factor)
+            end;
+            Ok ())
   in
-  let term = Term.(term_result (const run $ graph_arg 0)) in
-  Cmd.v (Cmd.info "stats" ~doc:"Print basic graph statistics.") term
+  let term = Term.(term_result (const run $ obs_term $ graph_arg 0 $ spanner_file)) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print graph statistics; with a second argument, spanner size vs. the Theorem-2 bound.")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* route *)
@@ -212,20 +381,44 @@ let route_cmd =
   let src = Arg.(value & opt int 0 & info [ "src" ] ~doc:"Source vertex.") in
   let dst = Arg.(value & opt int 1 & info [ "dst" ] ~doc:"Destination vertex.") in
   let spanner_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Advertised sub-graph file.") in
-  let run src dst g spanner_file =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL trace of the route (route_start, hop, route_end).")
+  in
+  let run () src dst trace g spanner_file =
     match edge_set_of g spanner_file with
     | Error e -> Error e
-    | Ok h ->
+    | Ok h -> (
+        match Option.map Trace.to_file trace with
+        | exception Sys_error msg -> Error (`Msg msg)
+        | sink ->
+        let emit_ev fields = Option.iter (fun s -> Trace.emit s fields) sink in
+        Fun.protect ~finally:(fun () -> Option.iter Trace.close sink) @@ fun () ->
+        emit_ev
+          [ ("ev", Json.String "route_start"); ("src", Json.Int src); ("dst", Json.Int dst);
+            ("shortest", Json.Int (Bfs.dist_pair g src dst)) ];
         let ls = Rs_routing.Link_state.make g h in
         (match Rs_routing.Link_state.route ls ~src ~dst with
-        | None -> Error (`Msg "destination unreachable")
+        | None ->
+            emit_ev [ ("ev", Json.String "route_end"); ("delivered", Json.Bool false) ];
+            Error (`Msg "destination unreachable")
         | Some p ->
+            if sink <> None then
+              List.iteri
+                (fun i v ->
+                  emit_ev [ ("ev", Json.String "hop"); ("step", Json.Int i); ("node", Json.Int v) ])
+                (p : Path.t :> int list);
+            emit_ev
+              [ ("ev", Json.String "route_end"); ("delivered", Json.Bool true);
+                ("hops", Json.Int (Path.length p)) ];
             Logs.app (fun m ->
                 m "route (%d hops, shortest %d): %a" (Path.length p)
                   (Bfs.dist_pair g src dst) Path.pp p);
-            Ok ())
+            Ok ()))
   in
-  let term = Term.(term_result (const run $ src $ dst $ graph_arg 0 $ spanner_file)) in
+  let term =
+    Term.(term_result (const run $ obs_term $ src $ dst $ trace $ graph_arg 0 $ spanner_file))
+  in
   Cmd.v (Cmd.info "route" ~doc:"Greedy link-state route over an advertised sub-graph.") term
 
 (* ------------------------------------------------------------------ *)
@@ -233,7 +426,7 @@ let route_cmd =
 
 let dot_cmd =
   let spanner_file = Arg.(value & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Optional spanner to highlight.") in
-  let run g spanner_file output =
+  let run () g spanner_file output =
     match spanner_file with
     | None ->
         emit output (Graph_io.to_dot g);
@@ -245,7 +438,7 @@ let dot_cmd =
             emit output (Graph_io.to_dot ~highlight:h g);
             Ok ())
   in
-  let term = Term.(term_result (const run $ graph_arg 0 $ spanner_file $ output_arg)) in
+  let term = Term.(term_result (const run $ obs_term $ graph_arg 0 $ spanner_file $ output_arg)) in
   Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz DOT, optionally highlighting a spanner.") term
 
 (* ------------------------------------------------------------------ *)
@@ -261,7 +454,7 @@ let render_cmd =
   in
   let width = Arg.(value & opt int 76 & info [ "width" ] ~doc:"Canvas width.") in
   let height = Arg.(value & opt int 28 & info [ "height" ] ~doc:"Canvas height.") in
-  let run g coords_file spanner_file width height =
+  let run () g coords_file spanner_file width height =
     match (try Ok (Rs_geometry.Point_io.load coords_file) with Failure m | Sys_error m -> Error (`Msg m)) with
     | Error e -> Error e
     | Ok pts -> (
@@ -275,7 +468,9 @@ let render_cmd =
             match edge_set_of g file with Error e -> Error e | Ok h -> draw (Some h)))
   in
   let term =
-    Term.(term_result (const run $ graph_arg 0 $ coords_file $ spanner_file $ width $ height))
+    Term.(
+      term_result
+        (const run $ obs_term $ graph_arg 0 $ coords_file $ spanner_file $ width $ height))
   in
   Cmd.v (Cmd.info "render" ~doc:"ASCII-render a geometric graph (and optionally a spanner).") term
 
@@ -289,7 +484,7 @@ let churn_cmd =
   let refresh = Arg.(value & opt int 8 & info [ "refresh" ] ~doc:"Advertisement refresh period (steps).") in
   let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Simulation length (steps).") in
   let side = Arg.(value & opt float 4.0 & info [ "side" ] ~doc:"Square side (unit radio range).") in
-  let run n seed speed refresh steps side =
+  let run () n seed speed refresh steps side =
     let module W = Rs_mobility.Waypoint in
     let module C = Rs_mobility.Churn_eval in
     let model =
@@ -314,7 +509,9 @@ let churn_cmd =
       reports;
     Ok ()
   in
-  let term = Term.(term_result (const run $ n $ seed $ speed $ refresh $ steps $ side)) in
+  let term =
+    Term.(term_result (const run $ obs_term $ n $ seed $ speed $ refresh $ steps $ side))
+  in
   Cmd.v (Cmd.info "churn" ~doc:"Routing-under-mobility comparison of advertised sub-graphs.") term
 
 let () =
@@ -324,6 +521,7 @@ let () =
   let info = Cmd.info "rspan" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ gen_cmd; build_cmd; verify_cmd; stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd ]
+      [ gen_cmd; build_cmd; profile_cmd; sim_cmd; verify_cmd; stats_cmd; route_cmd; dot_cmd;
+        render_cmd; churn_cmd ]
   in
   exit (Cmd.eval group)

@@ -1,4 +1,5 @@
 open Rs_graph
+module Obs = Rs_obs.Obs
 
 let full g = Edge_set.full g
 
@@ -47,6 +48,7 @@ let kept_dist_exceeds g h u v limit =
 
 let greedy_spanner g ~k =
   if k < 1 then invalid_arg "Baseline.greedy_spanner: k < 1";
+  Obs.with_span "build/greedy_spanner" @@ fun () ->
   let h = Edge_set.create g in
   Graph.iter_edges
     (fun u v -> if kept_dist_exceeds g h u v ((2 * k) - 1) then Edge_set.add h u v)
@@ -55,6 +57,7 @@ let greedy_spanner g ~k =
 
 let baswana_sen rand g ~k =
   if k < 1 then invalid_arg "Baseline.baswana_sen: k < 1";
+  Obs.with_span "build/baswana_sen" @@ fun () ->
   let n = Graph.n g in
   let h = Edge_set.create g in
   if n = 0 then h
@@ -121,6 +124,7 @@ let baswana_sen rand g ~k =
   end
 
 let additive2 g =
+  Obs.with_span "build/additive2" @@ fun () ->
   let n = Graph.n g in
   let h = Edge_set.create g in
   if n = 0 then h

@@ -1,5 +1,10 @@
 open Rs_graph
 module Setcover = Rs_setcover.Setcover
+module Obs = Rs_obs.Obs
+
+let c_trees = Obs.counter "domtree/trees_built"
+let c_layers = Obs.counter "domtree/layers"
+let h_candidates = Obs.histogram "domtree/candidate_set"
 
 let is_dominating g ~r ~beta t =
   let u = Tree.root t in
@@ -50,11 +55,14 @@ let layer_cover g dist r' beta =
 
 let gdy g ~r ~beta u =
   if r < 1 || beta < 0 then invalid_arg "Dom_tree.gdy: need r >= 1, beta >= 0";
+  Obs.incr c_trees;
   let dist = Bfs.dist ~radius:(r + beta) g u in
   let bfs_parent = Bfs.parents ~radius:(r + beta) g u in
   let t = Tree.create ~n:(Graph.n g) ~root:u in
   for r' = 2 to r do
     let sphere, annulus, inst = layer_cover g dist r' beta in
+    Obs.incr c_layers;
+    Obs.observe h_candidates (float_of_int (Array.length annulus));
     (* greedy cover, grafting the shortest path per chosen annulus node *)
     let alive = Array.make (Array.length sphere) true in
     let remaining = ref (Array.length sphere) in
@@ -93,6 +101,7 @@ let gdy g ~r ~beta u =
 
 let mis g ~r u =
   if r < 1 then invalid_arg "Dom_tree.mis: need r >= 1";
+  Obs.incr c_trees;
   let dist = Bfs.dist ~radius:r g u in
   let bfs_parent = Bfs.parents ~radius:r g u in
   let t = Tree.create ~n:(Graph.n g) ~root:u in
@@ -101,6 +110,7 @@ let mis g ~r u =
   Graph.iter_vertices (fun v -> if dist.(v) >= 2 && dist.(v) <= r then b := v :: !b) g;
   let order = Array.of_list !b in
   Array.sort (fun a b -> compare (dist.(a), a) (dist.(b), b)) order;
+  Obs.observe h_candidates (float_of_int (Array.length order));
   let alive = Array.make (Graph.n g) false in
   Array.iter (fun v -> alive.(v) <- true) order;
   Array.iter

@@ -1,4 +1,9 @@
 open Rs_graph
+module Obs = Rs_obs.Obs
+
+let c_trees = Obs.counter "domtree/trees_built"
+let c_relays = Obs.counter "domtree_k/relays"
+let h_sphere = Obs.histogram "domtree_k/sphere_size"
 
 let disjoint_branch_count g t ~beta v =
   let u = Tree.root t in
@@ -39,10 +44,12 @@ let is_k_dominating g ~k ~beta t =
 
 let gdy_k g ~k u =
   if k < 1 then invalid_arg "Dom_tree_k.gdy_k: k < 1";
+  Obs.incr c_trees;
   let t = Tree.create ~n:(Graph.n g) ~root:u in
   let dist = Bfs.dist ~radius:2 g u in
   let sphere = ref [] in
   Graph.iter_vertices (fun v -> if dist.(v) = 2 then sphere := v :: !sphere) g;
+  if Obs.enabled () then Obs.observe h_sphere (float_of_int (List.length !sphere));
   let in_m = Array.make (Graph.n g) false in
   let alive = Hashtbl.create 64 in
   List.iter (fun v -> Hashtbl.replace alive v ()) !sphere;
@@ -70,6 +77,7 @@ let gdy_k g ~k u =
       (Graph.neighbors g u);
     assert (!best >= 0);
     in_m.(!best) <- true;
+    Obs.incr c_relays;
     Tree.add_edge t ~parent:u ~child:!best;
     Hashtbl.iter
       (fun v () -> if covered_enough v then Hashtbl.remove alive v)
@@ -79,10 +87,12 @@ let gdy_k g ~k u =
 
 let mis_k g ~k u =
   if k < 1 then invalid_arg "Dom_tree_k.mis_k: k < 1";
+  Obs.incr c_trees;
   let t = Tree.create ~n:(Graph.n g) ~root:u in
   let dist = Bfs.dist ~radius:2 g u in
   let sphere = ref [] in
   Graph.iter_vertices (fun v -> if dist.(v) = 2 then sphere := v :: !sphere) g;
+  if Obs.enabled () then Obs.observe h_sphere (float_of_int (List.length !sphere));
   let s = Hashtbl.create 64 in
   List.iter (fun v -> Hashtbl.replace s v ()) (List.rev !sphere);
   let dominated v =

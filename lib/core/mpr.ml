@@ -1,4 +1,7 @@
 open Rs_graph
+module Obs = Rs_obs.Obs
+
+let c_relays = Obs.counter "mpr/relays_selected"
 
 let two_hop g u =
   let d = Bfs.dist ~radius:2 g u in
@@ -63,8 +66,16 @@ let is_valid_mpr g u relays =
     (two_hop g u)
 
 let relay_union g selector =
+  Obs.with_span "build/mpr_relay_union" @@ fun () ->
   let h = Edge_set.create g in
-  Graph.iter_vertices (fun u -> List.iter (fun x -> Edge_set.add h u x) (selector g u)) g;
+  Graph.iter_vertices
+    (fun u ->
+      List.iter
+        (fun x ->
+          Obs.incr c_relays;
+          Edge_set.add h u x)
+        (selector g u))
+    g;
   h
 
 type flood_result = { reached : bool array; retransmissions : int }

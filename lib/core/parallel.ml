@@ -1,25 +1,47 @@
 open Rs_graph
+module Obs = Rs_obs.Obs
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* Same counter the sequential union uses, so the parallel path's
+   metrics sum to the sequential run's (asserted by a property test).
+   Domain-balance histograms are observed from the coordinating thread
+   after joins; the measurements themselves happen inside each domain. *)
+let c_trees = Obs.counter "core/trees_built"
+let h_domain_wall = Obs.histogram "parallel/domain_wall_s"
+let h_domain_items = Obs.histogram "parallel/domain_items"
+
+let record_domain items dt =
+  if Obs.enabled () then begin
+    Obs.observe h_domain_items (float_of_int items);
+    Obs.observe h_domain_wall dt
+  end
+
 let union_trees ?domains g tree_of =
+  Obs.with_span "parallel/union_trees" @@ fun () ->
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let n = Graph.n g in
   if domains = 1 || n < 64 then begin
+    let t0 = if Obs.enabled () then Obs.now () else 0.0 in
     let acc = Edge_set.create g in
     for u = 0 to n - 1 do
+      Obs.incr c_trees;
       Tree.add_to acc (tree_of u)
     done;
+    if Obs.enabled () then record_domain n (Obs.now () -. t0);
     acc
   end
   else begin
     let block = (n + domains - 1) / domains in
     let work lo hi () =
+      let t0 = if Obs.enabled () then Obs.now () else 0.0 in
       let acc = Edge_set.create g in
       for u = lo to hi do
+        Obs.incr c_trees;
         Tree.add_to acc (tree_of u)
       done;
-      acc
+      let dt = if Obs.enabled () then Obs.now () -. t0 else 0.0 in
+      (acc, hi - lo + 1, dt)
     in
     let handles =
       List.init domains (fun d ->
@@ -30,7 +52,10 @@ let union_trees ?domains g tree_of =
     List.iter
       (function
         | None -> ()
-        | Some handle -> Edge_set.union_into result (Domain.join handle))
+        | Some handle ->
+            let acc, items, dt = Domain.join handle in
+            record_domain items dt;
+            Edge_set.union_into result acc)
       handles;
     result
   end
@@ -45,10 +70,12 @@ let k_connecting ?domains g ~k = union_trees ?domains g (Dom_tree_k.gdy_k g ~k)
 let two_connecting ?domains g = union_trees ?domains g (Dom_tree_k.mis_k g ~k:2)
 
 let is_remote_spanner ?domains g h ~alpha ~beta =
+  Obs.with_span "parallel/is_remote_spanner" @@ fun () ->
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let n = Graph.n g in
   let h_adj = Edge_set.to_adjacency h in
   let check_range lo hi () =
+    let t0 = if Obs.enabled () then Obs.now () else 0.0 in
     let ok = ref true in
     let u = ref lo in
     while !ok && !u <= hi do
@@ -62,9 +89,14 @@ let is_remote_spanner ?domains g h ~alpha ~beta =
       done;
       incr u
     done;
-    !ok
+    let dt = if Obs.enabled () then Obs.now () -. t0 else 0.0 in
+    (!ok, hi - lo + 1, dt)
   in
-  if domains = 1 || n < 64 then check_range 0 (n - 1) ()
+  if domains = 1 || n < 64 then begin
+    let ok, items, dt = check_range 0 (n - 1) () in
+    record_domain items dt;
+    ok
+  end
   else begin
     let block = (n + domains - 1) / domains in
     let handles =
@@ -74,6 +106,11 @@ let is_remote_spanner ?domains g h ~alpha ~beta =
     in
     List.fold_left
       (fun acc handle ->
-        match handle with None -> acc | Some h -> Domain.join h && acc)
+        match handle with
+        | None -> acc
+        | Some h ->
+            let ok, items, dt = Domain.join h in
+            record_domain items dt;
+            ok && acc)
       true handles
   end

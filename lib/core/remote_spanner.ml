@@ -1,24 +1,48 @@
 open Rs_graph
 module Sim = Rs_distributed.Sim
+module Obs = Rs_obs.Obs
+
+let c_union_trees = Obs.counter "core/trees_built"
+let g_spanner_edges = Obs.gauge "core/spanner_edges"
 
 let union_trees g tree_of =
   let h = Edge_set.create g in
-  Graph.iter_vertices (fun u -> Tree.add_to h (tree_of u)) g;
+  Graph.iter_vertices
+    (fun u ->
+      Obs.incr c_union_trees;
+      Tree.add_to h (tree_of u))
+    g;
+  h
+
+(* Entry points record a span and the result's edge count, so
+   [rspan profile] can attribute time and size per construction. *)
+let built h =
+  Obs.set_gauge g_spanner_edges (float_of_int (Edge_set.cardinal h));
   h
 
 let r_of_eps eps =
   if eps <= 0.0 || eps > 1.0 then invalid_arg "Remote_spanner.r_of_eps: need 0 < eps <= 1";
   int_of_float (Float.ceil (1.0 /. eps)) + 1
 
-let rem_span g ~r ~beta = union_trees g (Dom_tree.gdy g ~r ~beta)
+let rem_span g ~r ~beta =
+  Obs.with_span "build/rem_span" (fun () ->
+      built (union_trees g (Dom_tree.gdy g ~r ~beta)))
 
-let low_stretch g ~eps = union_trees g (Dom_tree.mis g ~r:(r_of_eps eps))
+let low_stretch g ~eps =
+  Obs.with_span "build/low_stretch" (fun () ->
+      built (union_trees g (Dom_tree.mis g ~r:(r_of_eps eps))))
 
-let exact_distance g = union_trees g (Dom_tree_k.gdy_k g ~k:1)
+let exact_distance g =
+  Obs.with_span "build/exact_distance" (fun () ->
+      built (union_trees g (Dom_tree_k.gdy_k g ~k:1)))
 
-let k_connecting g ~k = union_trees g (Dom_tree_k.gdy_k g ~k)
+let k_connecting g ~k =
+  Obs.with_span "build/k_connecting" (fun () ->
+      built (union_trees g (Dom_tree_k.gdy_k g ~k)))
 
-let k_connecting_mis g ~k = union_trees g (Dom_tree_k.mis_k g ~k)
+let k_connecting_mis g ~k =
+  Obs.with_span "build/k_connecting_mis" (fun () ->
+      built (union_trees g (Dom_tree_k.mis_k g ~k)))
 
 let two_connecting g = k_connecting_mis g ~k:2
 
@@ -54,7 +78,7 @@ module Distributed = struct
      list) [radius] hops, so every node learns the spanner edges in its
      vicinity; we only keep its traffic statistics. *)
   let flood_trees g trees ~radius =
-    if radius = 0 then { Sim.rounds = 0; messages = 0; payload = 0 }
+    if radius = 0 then Sim.zero_stats
     else begin
       let payload_of u = List.length (Tree.edges trees.(u)) in
       let proto =
@@ -89,29 +113,35 @@ module Distributed = struct
     end
 
   let run_with g ~radius tree_of_view =
-    let views, collect_stats = Sim.collect_neighborhoods g ~radius in
+    Obs.with_span "distributed/run_with" @@ fun () ->
+    let views, collect_stats =
+      Obs.with_span "collect" (fun () -> Sim.collect_neighborhoods g ~radius)
+    in
     let n = Graph.n g in
     let trees = Array.make n (Tree.create ~n ~root:0) in
-    for u = 0 to n - 1 do
-      if Graph.degree g u = 0 then trees.(u) <- Tree.create ~n ~root:u
-      else begin
-        let local, back, fwd = local_view views.(u) in
-        let t_local = tree_of_view local (Hashtbl.find fwd u) in
-        let t = Tree.create ~n ~root:u in
-        (* re-add edges shallow-first so parents always precede children *)
-        let by_depth =
-          List.sort
-            (fun (p1, _) (p2, _) ->
-              compare (Tree.depth t_local p1, p1) (Tree.depth t_local p2, p2))
-            (Tree.edges t_local)
-        in
-        List.iter (fun (p, c) -> Tree.add_edge t ~parent:back.(p) ~child:back.(c)) by_depth;
-        trees.(u) <- t
-      end
-    done;
+    Obs.with_span "local_trees" (fun () ->
+        for u = 0 to n - 1 do
+          if Graph.degree g u = 0 then trees.(u) <- Tree.create ~n ~root:u
+          else begin
+            let local, back, fwd = local_view views.(u) in
+            let t_local = tree_of_view local (Hashtbl.find fwd u) in
+            let t = Tree.create ~n ~root:u in
+            (* re-add edges shallow-first so parents always precede children *)
+            let by_depth =
+              List.sort
+                (fun (p1, _) (p2, _) ->
+                  compare (Tree.depth t_local p1, p1) (Tree.depth t_local p2, p2))
+                (Tree.edges t_local)
+            in
+            List.iter
+              (fun (p, c) -> Tree.add_edge t ~parent:back.(p) ~child:back.(c))
+              by_depth;
+            trees.(u) <- t
+          end
+        done);
     let spanner = Edge_set.create g in
     Array.iter (fun t -> Tree.add_to spanner t) trees;
-    let flood_stats = flood_trees g trees ~radius in
+    let flood_stats = Obs.with_span "flood" (fun () -> flood_trees g trees ~radius) in
     {
       spanner;
       collect_stats;

@@ -1,5 +1,12 @@
 module Graph = Rs_graph.Graph
 module Tree = Rs_graph.Tree
+module Obs = Rs_obs.Obs
+module Trace = Rs_obs.Trace
+module Json = Rs_obs.Json
+
+let c_originations = Obs.counter "periodic/originations"
+let c_recomputes = Obs.counter "periodic/recomputes"
+let c_expirations = Obs.counter "periodic/expirations"
 
 type event = { at : int; add : (int * int) list; remove : (int * int) list }
 
@@ -63,8 +70,11 @@ let recompute_tree ~tree_of g cache u =
   in
   List.map (fun (p, c) -> canonical (vs.(p), vs.(c))) by_depth
 
-let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
+let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
   if period < 1 || radius < 1 then invalid_arg "Periodic.simulate: period, radius >= 1";
+  Obs.with_span "periodic/simulate" @@ fun () ->
+  let tracing = trace <> None in
+  let emit fields = Option.iter (fun sink -> Trace.emit sink fields) trace in
   let n = Graph.n initial in
   let expiry = 2 * period in
   let caches = Array.init n (fun _ -> (Hashtbl.create 16 : (int, entry) Hashtbl.t)) in
@@ -96,6 +106,8 @@ let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
         s
   in
   for t = 0 to horizon - 1 do
+    if tracing then emit [ ("ev", Json.String "round_start"); ("round", Json.Int t) ];
+    let messages_before = !messages in
     (* 1. topology events *)
     g := apply_events !g events t;
     let gt = !g in
@@ -140,6 +152,15 @@ let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
     for u = 0 to n - 1 do
       if t mod period = u mod period then begin
         seqs.(u) <- seqs.(u) + 1;
+        Obs.incr c_originations;
+        if tracing then
+          emit
+            [
+              ("ev", Json.String "originate");
+              ("round", Json.Int t);
+              ("node", Json.Int u);
+              ("seq", Json.Int seqs.(u));
+            ];
         outboxes.(u) <-
           { origin = u; mseq = seqs.(u); mnbrs = Graph.neighbors gt u; ttl = radius }
           :: outboxes.(u)
@@ -153,6 +174,18 @@ let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
           caches.(u) []
       in
       if stale <> [] then begin
+        Obs.add c_expirations (List.length stale);
+        if tracing then
+          List.iter
+            (fun origin ->
+              emit
+                [
+                  ("ev", Json.String "expire");
+                  ("round", Json.Int t);
+                  ("node", Json.Int u);
+                  ("origin", Json.Int origin);
+                ])
+            stale;
         List.iter (Hashtbl.remove caches.(u)) stale;
         dirty.(u) <- true
       end
@@ -160,6 +193,7 @@ let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
     (* 6. recompute dirty trees *)
     for u = 0 to n - 1 do
       if dirty.(u) then begin
+        Obs.incr c_recomputes;
         trees.(u) <- recompute_tree ~tree_of gt caches.(u) u;
         dirty.(u) <- false
       end
@@ -170,7 +204,15 @@ let simulate ~initial ~events ~period ~radius ~horizon ~tree_of =
         (fun acc es -> List.fold_left (fun acc e -> Pair_set.add e acc) acc es)
         Pair_set.empty trees
     in
-    matched.(t) <- Pair_set.equal union (target gt)
+    matched.(t) <- Pair_set.equal union (target gt);
+    if tracing then
+      emit
+        [
+          ("ev", Json.String "round_end");
+          ("round", Json.Int t);
+          ("messages", Json.Int (!messages - messages_before));
+          ("matched", Json.Bool matched.(t));
+        ]
   done;
   let last_event = List.fold_left (fun acc ev -> max acc ev.at) 0 events in
   let converged_at =

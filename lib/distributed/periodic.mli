@@ -43,18 +43,26 @@ type result = {
 }
 
 val simulate :
+  ?trace:Rs_obs.Trace.sink ->
   initial:Graph.t ->
   events:event list ->
   period:int ->
   radius:int ->
   horizon:int ->
   tree_of:(Graph.t -> int -> Tree.t) ->
+  unit ->
   result
-(** [simulate ~initial ~events ~period ~radius ~horizon ~tree_of] runs
+(** [simulate ~initial ~events ~period ~radius ~horizon ~tree_of ()] runs
     the periodic protocol for [horizon] rounds. [tree_of] computes a
     node's dominating tree from an arbitrary (view) graph — pass e.g.
     [fun g u -> Rs_core.Dom_tree_k.gdy_k g ~k:1 u]... any construction
     whose radius requirement is at most [radius]. The target each
     round is the union of [tree_of] applied to the true current graph.
     Events must be sorted by [at]; edges must reference valid vertices
-    (removals of absent edges are ignored). *)
+    (removals of absent edges are ignored).
+
+    [?trace] streams JSONL events to the sink: [round_start],
+    [originate {round, node, seq}], [expire {round, node, origin}],
+    and [round_end {round, messages, matched}] — enough to replay the
+    protocol's convergence behaviour offline (schema in
+    docs/OBSERVABILITY.md). *)

@@ -1,6 +1,26 @@
 module Graph = Rs_graph.Graph
+module Obs = Rs_obs.Obs
+module Trace = Rs_obs.Trace
+module Json = Rs_obs.Json
 
-type stats = { rounds : int; messages : int; payload : int }
+type stats = {
+  rounds : int;
+  messages : int;
+  payload : int;
+  max_round_messages : int;
+  max_round_payload : int;
+  halted_nodes : int;
+}
+
+let zero_stats =
+  {
+    rounds = 0;
+    messages = 0;
+    payload = 0;
+    max_round_messages = 0;
+    max_round_payload = 0;
+    halted_nodes = 0;
+  }
 
 type ('state, 'msg) protocol = {
   init : int -> 'state * (int * 'msg) list;
@@ -9,40 +29,93 @@ type ('state, 'msg) protocol = {
   msg_size : 'msg -> int;
 }
 
-let run g proto ~max_rounds =
+let c_rounds = Obs.counter "sim/rounds"
+let c_messages = Obs.counter "sim/messages"
+let h_round_messages = Obs.histogram "sim/round_messages"
+
+let run ?trace g proto ~max_rounds =
+  Obs.with_span "sim/run" @@ fun () ->
   let n = Graph.n g in
   let states = Array.make n None in
   let outboxes = Array.make n [] in
-  let check_send u (v, _msg) =
+  let check_send ~round u (v, _msg) =
     if not (Graph.mem_edge g u v) then
       invalid_arg
-        (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d" u v)
+        (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d in round %d" u v
+           round)
+  in
+  let was_halted = Array.make n false in
+  let trace_halt round u =
+    Option.iter
+      (fun sink ->
+        Trace.emit sink
+          [ ("ev", Json.String "halt"); ("round", Json.Int round); ("node", Json.Int u) ])
+      trace
   in
   for u = 0 to n - 1 do
     let st, sends = proto.init u in
-    List.iter (check_send u) sends;
+    List.iter (check_send ~round:0 u) sends;
     states.(u) <- Some st;
-    outboxes.(u) <- sends
+    outboxes.(u) <- sends;
+    if proto.halted st then begin
+      was_halted.(u) <- true;
+      trace_halt 0 u
+    end
   done;
   let messages = ref 0 and payload = ref 0 and rounds = ref 0 in
+  let max_round_messages = ref 0 and max_round_payload = ref 0 in
   let in_flight () = Array.exists (fun o -> o <> []) outboxes in
   let all_halted () =
     Array.for_all (function Some st -> proto.halted st | None -> true) states
   in
   while !rounds < max_rounds && (in_flight () || not (all_halted ())) do
     incr rounds;
+    let round = !rounds in
+    Option.iter
+      (fun sink ->
+        Trace.emit sink [ ("ev", Json.String "round_start"); ("round", Json.Int round) ])
+      trace;
     (* deliver *)
+    let round_messages = ref 0 and round_payload = ref 0 in
     let inboxes = Array.make n [] in
     Array.iteri
       (fun u sends ->
         List.iter
           (fun (v, msg) ->
             incr messages;
-            payload := !payload + proto.msg_size msg;
+            incr round_messages;
+            let size = proto.msg_size msg in
+            payload := !payload + size;
+            round_payload := !round_payload + size;
+            Option.iter
+              (fun sink ->
+                Trace.emit sink
+                  [
+                    ("ev", Json.String "send");
+                    ("round", Json.Int round);
+                    ("from", Json.Int u);
+                    ("to", Json.Int v);
+                    ("size", Json.Int size);
+                  ])
+              trace;
             inboxes.(v) <- (u, msg) :: inboxes.(v))
           sends)
       outboxes;
     Array.fill outboxes 0 n [];
+    Option.iter
+      (fun sink ->
+        Array.iteri
+          (fun u inbox ->
+            if inbox <> [] then
+              Trace.emit sink
+                [
+                  ("ev", Json.String "recv");
+                  ("round", Json.Int round);
+                  ("node", Json.Int u);
+                  ("count", Json.Int (List.length inbox));
+                ])
+          inboxes)
+      trace;
     (* step *)
     for u = 0 to n - 1 do
       match states.(u) with
@@ -50,16 +123,47 @@ let run g proto ~max_rounds =
       | Some st ->
           if inboxes.(u) <> [] || not (proto.halted st) then begin
             let st', sends = proto.step u st ~inbox:inboxes.(u) in
-            List.iter (check_send u) sends;
+            List.iter (check_send ~round u) sends;
             states.(u) <- Some st';
-            outboxes.(u) <- sends
+            outboxes.(u) <- sends;
+            let halted_now = proto.halted st' in
+            if halted_now && not was_halted.(u) then trace_halt round u;
+            was_halted.(u) <- halted_now
           end
-    done
+    done;
+    max_round_messages := max !max_round_messages !round_messages;
+    max_round_payload := max !max_round_payload !round_payload;
+    Obs.incr c_rounds;
+    Obs.add c_messages !round_messages;
+    Obs.observe h_round_messages (float_of_int !round_messages);
+    Option.iter
+      (fun sink ->
+        Trace.emit sink
+          [
+            ("ev", Json.String "round_end");
+            ("round", Json.Int round);
+            ("messages", Json.Int !round_messages);
+            ("payload", Json.Int !round_payload);
+          ])
+      trace
   done;
   let final =
     Array.map (function Some st -> st | None -> assert false) states
   in
-  (final, { rounds = !rounds; messages = !messages; payload = !payload })
+  let halted_nodes =
+    Array.fold_left
+      (fun acc st -> if proto.halted st then acc + 1 else acc)
+      0 final
+  in
+  ( final,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      payload = !payload;
+      max_round_messages = !max_round_messages;
+      max_round_payload = !max_round_payload;
+      halted_nodes;
+    } )
 
 (* Flooding collection: each node starts knowing its incident edges and
    floods newly learned edges for [radius] rounds; an edge learned in
@@ -71,7 +175,7 @@ type collect_state = {
   budget : int;
 }
 
-let collect_neighborhoods g ~radius =
+let collect_neighborhoods ?trace g ~radius =
   if radius < 0 then invalid_arg "Sim.collect_neighborhoods: negative radius";
   let canonical u v = if u < v then (u, v) else (v, u) in
   let proto =
@@ -112,7 +216,7 @@ let collect_neighborhoods g ~radius =
       msg_size = List.length;
     }
   in
-  let states, stats = run g proto ~max_rounds:(radius + 1) in
+  let states, stats = run ?trace g proto ~max_rounds:(radius + 1) in
   let views =
     Array.map
       (fun st ->

@@ -15,7 +15,13 @@ type stats = {
   rounds : int;  (** rounds executed *)
   messages : int;  (** total messages delivered *)
   payload : int;  (** sum of user-defined message sizes *)
+  max_round_messages : int;  (** busiest round's message count *)
+  max_round_payload : int;  (** busiest round's payload *)
+  halted_nodes : int;  (** nodes halted when the run stopped *)
 }
+
+val zero_stats : stats
+(** All-zero statistics (the no-rounds run). *)
 
 type ('state, 'msg) protocol = {
   init : int -> 'state * (int * 'msg) list;
@@ -32,14 +38,32 @@ type ('state, 'msg) protocol = {
 }
 
 val run :
-  Rs_graph.Graph.t -> ('state, 'msg) protocol -> max_rounds:int -> 'state array * stats
+  ?trace:Rs_obs.Trace.sink ->
+  Rs_graph.Graph.t ->
+  ('state, 'msg) protocol ->
+  max_rounds:int ->
+  'state array * stats
 (** Run to quiescence (all halted and no messages in flight) or
-    [max_rounds]. Sends to non-neighbors raise [Invalid_argument] —
-    the LOCAL model only talks over edges. *)
+    [max_rounds]. Sends to non-neighbors raise [Invalid_argument]
+    naming the offending round — the LOCAL model only talks over
+    edges; the init phase counts as round 0.
 
-val collect_neighborhoods : Rs_graph.Graph.t -> radius:int -> (int * int * int) array array * stats
+    With [?trace], one JSONL event per line is streamed to the sink:
+    [round_start {round}], [send {round, from, to, size}] per
+    delivered message, [recv {round, node, count}] per non-empty
+    inbox, [halt {round, node}] on halting transitions, and
+    [round_end {round, messages, payload}] whose per-round message
+    totals sum to the returned [stats.messages]. See
+    docs/OBSERVABILITY.md for the schema. *)
+
+val collect_neighborhoods :
+  ?trace:Rs_obs.Trace.sink ->
+  Rs_graph.Graph.t ->
+  radius:int ->
+  (int * int * int) array array * stats
 (** The generic primitive behind Algorithm RemSpan: after [radius]
     flooding rounds each node knows every edge incident to its ball of
     radius [radius] — enough to rebuild [B_G(u, radius)] and run a
     dominating-tree computation locally. Returns, per node, the known
-    edge list as (u, v, round-learned) triples, plus traffic stats. *)
+    edge list as (u, v, round-learned) triples, plus traffic stats.
+    [?trace] is forwarded to {!run}. *)

@@ -1,5 +1,17 @@
 let no_radius = max_int
 
+(* Expansion hook: BFS dominates every construction's cost, so traversal
+   totals go to the metrics registry. One enabled-check per traversal
+   (not per dequeue) keeps the disabled path free. *)
+let c_runs = Rs_obs.Obs.counter "bfs/runs"
+let c_expansions = Rs_obs.Obs.counter "bfs/expansions"
+
+let record_traversal expanded =
+  if Rs_obs.Obs.enabled () then begin
+    Rs_obs.Obs.incr c_runs;
+    Rs_obs.Obs.add c_expansions expanded
+  end
+
 let dist_adj ?(radius = no_radius) adj src =
   let n = Array.length adj in
   let dist = Array.make n (-1) in
@@ -21,6 +33,7 @@ let dist_adj ?(radius = no_radius) adj src =
           end)
         adj.(u)
   done;
+  record_traversal !head;
   dist
 
 let dist ?radius g src =
@@ -50,6 +63,7 @@ let dist_pair g u v =
           end)
         (Graph.neighbors g x)
     done;
+    record_traversal !head;
     !found
   end
 
@@ -79,6 +93,7 @@ let parents_adj ?(radius = no_radius) adj src =
           end)
         adj.(u)
   done;
+  record_traversal !head;
   parent
 
 let parents ?radius g src =
@@ -148,4 +163,5 @@ let augmented_dist g h_adj u =
         end)
       h_adj.(x)
   done;
+  record_traversal !head;
   dist

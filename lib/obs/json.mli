@@ -1,0 +1,33 @@
+(** Minimal JSON values, printing and parsing.
+
+    The observability layer serializes metric registries and trace
+    events without pulling in an external JSON dependency; this module
+    is the small common denominator it needs: a value type, a compact
+    (or pretty) printer that always emits valid JSON, and a strict
+    recursive-descent parser good enough to round-trip the printer's
+    output (used by the tests and by [rspan]'s schema checks). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [~pretty:true] indents objects and lists by two spaces.
+    Non-finite floats are emitted as [null] (JSON has no NaN). *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.
+    Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to the first [k], if any;
+    [None] on non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality, comparing floats within [1e-9] relative
+    tolerance (printer round-trips are not bit-exact). *)

@@ -1,0 +1,266 @@
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let now = Unix.gettimeofday
+
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* counters *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.replace counters name c;
+          c)
+
+let incr c = if enabled () then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
+
+(* ------------------------------------------------------------------ *)
+(* gauges *)
+
+type gauge = { g_name : string; g_value : float Atomic.t }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_value = Atomic.make 0.0 } in
+          Hashtbl.replace gauges name g;
+          g)
+
+let set_gauge g v = if enabled () then Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+
+(* ------------------------------------------------------------------ *)
+(* histograms: exact moments + power-of-two buckets *)
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : (int, int) Hashtbl.t; (* exponent e -> count of values <= 2^e *)
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_lock = Mutex.create ();
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+              h_buckets = Hashtbl.create 8;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h)
+
+(* smallest e with v <= 2^e (clamped so the bucket set stays small) *)
+let bucket_exponent v =
+  if v <= 0.0 then min_int
+  else max (-30) (min 62 (int_of_float (Float.ceil (Float.log2 v))))
+
+let observe h v =
+  if enabled () then begin
+    Mutex.lock h.h_lock;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let e = bucket_exponent v in
+    Hashtbl.replace h.h_buckets e
+      (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets e));
+    Mutex.unlock h.h_lock
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* ------------------------------------------------------------------ *)
+(* spans: domain-local nesting stack, global aggregates *)
+
+type span_agg = { mutable s_count : int; mutable s_total : float; mutable s_max : float }
+
+let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 16
+
+let span_stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record_span path dt =
+  locked (fun () ->
+      let agg =
+        match Hashtbl.find_opt spans path with
+        | Some a -> a
+        | None ->
+            let a = { s_count = 0; s_total = 0.0; s_max = 0.0 } in
+            Hashtbl.replace spans path a;
+            a
+      in
+      agg.s_count <- agg.s_count + 1;
+      agg.s_total <- agg.s_total +. dt;
+      if dt > agg.s_max then agg.s_max <- dt)
+
+let with_span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get span_stack_key in
+    stack := name :: !stack;
+    let path = String.concat "/" (List.rev !stack) in
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = now () -. t0 in
+        (match !stack with [] -> () | _ :: tl -> stack := tl);
+        record_span path dt)
+      f
+  end
+
+let span_stats path =
+  locked (fun () ->
+      Option.map (fun a -> (a.s_count, a.s_total)) (Hashtbl.find_opt spans path))
+
+(* ------------------------------------------------------------------ *)
+(* registry *)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0.0) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.h_lock;
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity;
+          Hashtbl.reset h.h_buckets;
+          Mutex.unlock h.h_lock)
+        histograms;
+      Hashtbl.reset spans)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_json h =
+  Mutex.lock h.h_lock;
+  let buckets =
+    Hashtbl.fold (fun e c acc -> (e, c) :: acc) h.h_buckets []
+    |> List.sort compare
+    |> List.map (fun (e, c) ->
+           let le =
+             if e = min_int then 0.0 else Float.pow 2.0 (float_of_int e)
+           in
+           Json.Obj [ ("le", Json.Float le); ("count", Json.Int c) ])
+  in
+  let j =
+    Json.Obj
+      [
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Float h.h_sum);
+        ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
+        ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
+        ("buckets", Json.List buckets);
+      ]
+  in
+  Mutex.unlock h.h_lock;
+  j
+
+let to_json () =
+  locked (fun () ->
+      let counters_j =
+        sorted_bindings counters
+        |> List.map (fun (name, c) -> (name, Json.Int (Atomic.get c.c_value)))
+      in
+      let gauges_j =
+        sorted_bindings gauges
+        |> List.map (fun (name, g) -> (name, Json.Float (Atomic.get g.g_value)))
+      in
+      let histograms_j =
+        sorted_bindings histograms
+        |> List.map (fun (name, h) -> (name, histogram_json h))
+      in
+      let spans_j =
+        sorted_bindings spans
+        |> List.map (fun (path, a) ->
+               ( path,
+                 Json.Obj
+                   [
+                     ("count", Json.Int a.s_count);
+                     ("total_s", Json.Float a.s_total);
+                     ("max_s", Json.Float a.s_max);
+                   ] ))
+      in
+      Json.Obj
+        [
+          ("version", Json.Int 1);
+          ("counters", Json.Obj counters_j);
+          ("gauges", Json.Obj gauges_j);
+          ("histograms", Json.Obj histograms_j);
+          ("spans", Json.Obj spans_j);
+        ])
+
+let to_table () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  locked (fun () ->
+      line "%-44s %14s" "counter" "value";
+      List.iter
+        (fun (name, c) -> line "%-44s %14d" name (Atomic.get c.c_value))
+        (sorted_bindings counters);
+      if Hashtbl.length gauges > 0 then begin
+        line "";
+        line "%-44s %14s" "gauge" "value";
+        List.iter
+          (fun (name, g) -> line "%-44s %14.2f" name (Atomic.get g.g_value))
+          (sorted_bindings gauges)
+      end;
+      if Hashtbl.length histograms > 0 then begin
+        line "";
+        line "%-44s %8s %12s %10s %10s" "histogram" "count" "mean" "min" "max";
+        List.iter
+          (fun (name, h) ->
+            let mean = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count in
+            line "%-44s %8d %12.3f %10.3f %10.3f" name h.h_count mean
+              (if h.h_count = 0 then 0.0 else h.h_min)
+              (if h.h_count = 0 then 0.0 else h.h_max))
+          (sorted_bindings histograms)
+      end;
+      if Hashtbl.length spans > 0 then begin
+        line "";
+        line "%-44s %8s %12s %12s" "span" "count" "total" "max";
+        List.iter
+          (fun (path, a) ->
+            line "%-44s %8d %10.3fms %10.3fms" path a.s_count (1e3 *. a.s_total)
+              (1e3 *. a.s_max))
+          (sorted_bindings spans)
+      end);
+  Buffer.contents buf

@@ -1,0 +1,84 @@
+(** Metrics registry: counters, gauges, histograms and nested spans.
+
+    The paper's headline claims are resource claims (constant rounds,
+    [O(eps^-(p+1) n)] edges, counts within [2(1+log Delta)] of
+    optimal); this module lets the library observe them from the
+    inside instead of post-hoc through the bench harness.
+
+    Everything hangs off one process-global registry. Instrumentation
+    is {e disabled by default}: every mutation first reads a single
+    atomic flag and returns immediately when it is off, so hot paths
+    (BFS inner loops, the parallel runtime) pay one load + branch per
+    call site. Handles are registered eagerly (cheap) and are stable
+    across {!reset}.
+
+    Thread-safety: counters and gauges are atomics; histograms carry
+    their own mutex; span aggregates are guarded by the registry
+    mutex; the span {e stack} is domain-local, so spans opened in
+    different domains nest independently. All of it can be touched
+    concurrently from OCaml 5 domains (the [Parallel] module does). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Master switch, off at startup. *)
+
+(** {1 Counters} — monotone event counts (e.g. BFS expansions). *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-register by name. Names are slash-separated paths, e.g.
+    ["bfs/expansions"]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-write-wins instantaneous values (edge counts). *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — distributions (candidate-set sizes, per-domain
+    wall time). Buckets are powers of two over the observed value;
+    count/sum/min/max are exact. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Spans} — wall-clock timed scopes with nesting. A span opened
+    inside another is recorded under the joined path ("a/b"), giving a
+    flat profile of the call tree. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time [f] and record (count, total, max) under the current domain's
+    span path. When disabled this is exactly [f ()]. Exceptions
+    propagate; the span still closes. *)
+
+val span_stats : string -> (int * float) option
+(** [(count, total_seconds)] recorded under a full span path. *)
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zero every metric (handles stay valid); drop span aggregates. *)
+
+val to_json : unit -> Json.t
+(** Snapshot: [{"counters": {..}, "gauges": {..}, "histograms": {..},
+    "spans": {..}}]. Histograms are
+    [{"count", "sum", "min", "max", "buckets": [{"le", "count"}..]}];
+    spans are [{"count", "total_s", "max_s"}]. *)
+
+val to_table : unit -> string
+(** Human-readable fixed-width dump of the same snapshot. *)
+
+val now : unit -> float
+(** The clock used for spans (seconds; [Unix.gettimeofday]). Exposed
+    so other layers time with the same base. *)

@@ -1,0 +1,45 @@
+type sink = {
+  write : string -> unit;
+  finish : unit -> unit;
+  lock : Mutex.t;
+  mutable n_events : int;
+  mutable closed : bool;
+}
+
+let make write finish =
+  { write; finish; lock = Mutex.create (); n_events = 0; closed = false }
+
+let to_channel oc =
+  make (fun line -> output_string oc line) (fun () -> flush oc)
+
+let to_file path =
+  let oc = open_out path in
+  make
+    (fun line -> output_string oc line)
+    (fun () ->
+      flush oc;
+      close_out oc)
+
+let to_buffer buf = make (Buffer.add_string buf) (fun () -> ())
+
+let emit sink fields =
+  Mutex.lock sink.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.lock)
+    (fun () ->
+      if sink.closed then invalid_arg "Trace.emit: sink is closed";
+      sink.write (Json.to_string (Json.Obj fields));
+      sink.write "\n";
+      sink.n_events <- sink.n_events + 1)
+
+let events sink = sink.n_events
+
+let close sink =
+  Mutex.lock sink.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.lock)
+    (fun () ->
+      if not sink.closed then begin
+        sink.closed <- true;
+        sink.finish ()
+      end)

@@ -1,0 +1,33 @@
+(** JSONL event-trace sinks.
+
+    The distributed layer (and the CLI's route path) can stream
+    structured events — round boundaries, per-message sends, halts —
+    one JSON object per line, for offline replay and inspection.
+    Unlike {!Obs} metrics, traces are explicit opt-in: a sink is
+    threaded to the instrumented function, so there is no global
+    state and no cost when no sink is passed.
+
+    Sinks are mutex-protected; events may be emitted from any domain. *)
+
+type sink
+
+val to_channel : out_channel -> sink
+(** Write lines to an existing channel. {!close} flushes but does not
+    close the channel. *)
+
+val to_file : string -> sink
+(** Open (truncate) a file; {!close} closes it. *)
+
+val to_buffer : Buffer.t -> sink
+(** Accumulate lines in memory (used by tests). *)
+
+val emit : sink -> (string * Json.t) list -> unit
+(** Append one event as a compact single-line JSON object. By
+    convention the first field is [("ev", String kind)]. *)
+
+val events : sink -> int
+(** Number of events emitted so far. *)
+
+val close : sink -> unit
+(** Flush (and close, for file sinks). Idempotent; emitting after
+    close raises [Invalid_argument]. *)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate the shape of an Obs.to_json () metrics registry.
+
+Usage: validate_metrics.py FILE [FILE...]
+
+Checks the schema documented in docs/OBSERVABILITY.md: top-level keys,
+value types, histogram structure (bucket counts sum to the histogram
+count), and that a profile run recorded at least one span, counter and
+histogram observation. Exits non-zero with a message on the first
+violation.
+"""
+import json
+import sys
+
+NUM = (int, float)
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: schema violation: {msg}")
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    for key in ("version", "counters", "gauges", "histograms", "spans"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if doc["version"] != 1:
+        fail(path, f"unknown version {doc['version']!r}")
+
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"counter {name!r} is not a non-negative int: {v!r}")
+    for name, v in doc["gauges"].items():
+        if not isinstance(v, NUM):
+            fail(path, f"gauge {name!r} is not a number: {v!r}")
+
+    for name, h in doc["histograms"].items():
+        for key, typ in (("count", int), ("sum", NUM), ("min", NUM),
+                         ("max", NUM), ("buckets", list)):
+            if not isinstance(h.get(key), typ):
+                fail(path, f"histogram {name!r} field {key!r} bad: {h.get(key)!r}")
+        prev_le = None
+        total = 0
+        for b in h["buckets"]:
+            if not isinstance(b.get("le"), NUM) or not isinstance(b.get("count"), int):
+                fail(path, f"histogram {name!r} has a malformed bucket: {b!r}")
+            if prev_le is not None and b["le"] <= prev_le:
+                fail(path, f"histogram {name!r} buckets not strictly increasing")
+            prev_le = b["le"]
+            total += b["count"]
+        if total != h["count"]:
+            fail(path, f"histogram {name!r} bucket counts {total} != count {h['count']}")
+        if h["count"] > 0 and h["min"] > h["max"]:
+            fail(path, f"histogram {name!r} min > max")
+
+    for name, s in doc["spans"].items():
+        if not isinstance(s.get("count"), int) or s["count"] < 1:
+            fail(path, f"span {name!r} has no observations")
+        for key in ("total_s", "max_s"):
+            if not isinstance(s.get(key), NUM) or s[key] < 0:
+                fail(path, f"span {name!r} field {key!r} bad: {s.get(key)!r}")
+        if s["max_s"] > s["total_s"] + 1e-9:
+            fail(path, f"span {name!r} max_s exceeds total_s")
+
+    # a profile run must actually have measured something
+    if not doc["spans"]:
+        fail(path, "no spans recorded")
+    if not any(v > 0 for v in doc["counters"].values()):
+        fail(path, "no counter ever incremented")
+    if not any(h["count"] > 0 for h in doc["histograms"].values()):
+        fail(path, "no histogram observation recorded")
+
+    print(f"{path}: ok ({len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip())
+    for p in sys.argv[1:]:
+        validate(p)

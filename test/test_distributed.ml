@@ -1,6 +1,8 @@
 (* Tests for the LOCAL-model simulator. *)
 open Rs_graph
 module Sim = Rs_distributed.Sim
+module Json = Rs_obs.Json
+module Trace = Rs_obs.Trace
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -42,7 +44,74 @@ let test_send_to_non_neighbor_rejected () =
   check "rejected" true
     (match Sim.run g bad ~max_rounds:2 with
     | _ -> false
-    | exception Invalid_argument _ -> true)
+    | exception Invalid_argument msg ->
+        (* the message names both endpoints and the offending round *)
+        let contains sub =
+          let n = String.length msg and k = String.length sub in
+          let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+          scan 0
+        in
+        contains "non-neighbor 2" && contains "in round 0")
+
+let test_non_neighbor_round_in_message () =
+  let g = Gen.path_graph 4 in
+  (* legal in round 0, illegal from the step in round 1 onwards *)
+  let bad =
+    {
+      Sim.init = (fun u -> ((), if u = 0 then [ (1, ()) ] else []));
+      step = (fun u s ~inbox:_ -> (s, if u = 1 then [ (3, ()) ] else []));
+      halted = (fun _ -> false);
+      msg_size = (fun _ -> 0);
+    }
+  in
+  check "round 1 reported" true
+    (match Sim.run g bad ~max_rounds:3 with
+    | _ -> false
+    | exception Invalid_argument msg ->
+        let n = String.length msg in
+        let sub = "in round 1" in
+        let k = String.length sub in
+        let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+        scan 0)
+
+let test_trace_totals_match_stats () =
+  let g = Gen.grid 4 4 in
+  let buf = Buffer.create 4096 in
+  let sink = Trace.to_buffer buf in
+  let _, stats = Sim.collect_neighborhoods ~trace:sink g ~radius:2 in
+  Trace.close sink;
+  let events =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Json.parse l with
+           | Ok j -> j
+           | Error e -> Alcotest.fail ("unparseable trace line: " ^ e))
+  in
+  let field name j = Json.member name j in
+  let kind j = match field "ev" j with Some (Json.String s) -> s | _ -> "?" in
+  let int_field name j = match field name j with Some (Json.Int i) -> i | _ -> 0 in
+  let sum_over ev name =
+    List.fold_left (fun acc j -> if kind j = ev then acc + int_field name j else acc) 0 events
+  in
+  check_int "round_end messages sum to stats.messages" stats.Sim.messages
+    (sum_over "round_end" "messages");
+  check_int "round_end payload sums to stats.payload" stats.Sim.payload
+    (sum_over "round_end" "payload");
+  check_int "one send event per message" stats.Sim.messages
+    (List.length (List.filter (fun j -> kind j = "send") events));
+  check_int "round_start count = rounds" stats.Sim.rounds
+    (List.length (List.filter (fun j -> kind j = "round_start") events));
+  check_int "all nodes halt" (Graph.n g)
+    (List.length (List.filter (fun j -> kind j = "halt") events));
+  check_int "stats counts halted nodes" (Graph.n g) stats.Sim.halted_nodes;
+  (* the busiest round reported in stats appears among the round_end events *)
+  let max_msgs =
+    List.fold_left
+      (fun acc j -> if kind j = "round_end" then max acc (int_field "messages" j) else acc)
+      0 events
+  in
+  check_int "max_round_messages" stats.Sim.max_round_messages max_msgs
 
 let test_max_rounds_cutoff () =
   let g = Gen.cycle 4 in
@@ -138,6 +207,8 @@ let () =
         [
           Alcotest.test_case "hello exchanges ids" `Quick test_hello_learns_neighbors;
           Alcotest.test_case "non-neighbor send rejected" `Quick test_send_to_non_neighbor_rejected;
+          Alcotest.test_case "non-neighbor error names the round" `Quick test_non_neighbor_round_in_message;
+          Alcotest.test_case "trace totals match stats" `Quick test_trace_totals_match_stats;
           Alcotest.test_case "max_rounds cutoff" `Quick test_max_rounds_cutoff;
         ] );
       ( "collect",

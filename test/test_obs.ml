@@ -1,0 +1,228 @@
+(* Tests for the observability layer: metric arithmetic, span nesting,
+   JSON round-trips, registry reset, trace sinks, and the invariant
+   that the parallel runtime's metrics sum to the sequential run's. *)
+open Rs_graph
+module Obs = Rs_obs.Obs
+module Json = Rs_obs.Json
+module Trace = Rs_obs.Trace
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Every test starts from a clean, enabled registry and leaves the
+   switch off so instrumentation stays free for the other suites. *)
+let with_obs f () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* counters, gauges, histograms *)
+
+let test_counter_arithmetic () =
+  let c = Obs.counter "test/counter" in
+  check_int "starts at 0" 0 (Obs.counter_value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  check_int "2 incr + add 40" 42 (Obs.counter_value c);
+  check_int "find-or-register shares state" 42
+    (Obs.counter_value (Obs.counter "test/counter"))
+
+let test_disabled_is_noop () =
+  let c = Obs.counter "test/disabled" in
+  let h = Obs.histogram "test/disabled_h" in
+  Obs.set_enabled false;
+  Obs.incr c;
+  Obs.add c 10;
+  Obs.observe h 3.0;
+  Obs.set_enabled true;
+  check_int "counter untouched" 0 (Obs.counter_value c);
+  check_int "histogram untouched" 0 (Obs.histogram_count h)
+
+let test_gauge () =
+  let g = Obs.gauge "test/gauge" in
+  Obs.set_gauge g 3.5;
+  Obs.set_gauge g 2.25;
+  check_float "last write wins" 2.25 (Obs.gauge_value g)
+
+let test_histogram_arithmetic () =
+  let h = Obs.histogram "test/hist" in
+  List.iter (Obs.observe h) [ 1.0; 2.0; 3.0; 100.0 ];
+  check_int "count" 4 (Obs.histogram_count h);
+  check_float "sum" 106.0 (Obs.histogram_sum h);
+  (* min/max/buckets only surface through the JSON snapshot *)
+  let j = Obs.to_json () in
+  let hist =
+    match Json.member "histograms" j with
+    | Some hs -> Option.get (Json.member "test/hist" hs)
+    | None -> Alcotest.fail "no histograms key"
+  in
+  check "min 1" true (Json.member "min" hist = Some (Json.Float 1.0));
+  check "max 100" true (Json.member "max" hist = Some (Json.Float 100.0));
+  match Json.member "buckets" hist with
+  | Some (Json.List buckets) ->
+      let total =
+        List.fold_left
+          (fun acc b ->
+            match Json.member "count" b with Some (Json.Int c) -> acc + c | _ -> acc)
+          0 buckets
+      in
+      check_int "bucket counts sum to count" 4 total
+  | _ -> Alcotest.fail "no buckets"
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+let test_span_nesting () =
+  let r =
+    Obs.with_span "a" (fun () ->
+        Obs.with_span "b" (fun () -> ());
+        Obs.with_span "b" (fun () -> ());
+        17)
+  in
+  check_int "with_span returns" 17 r;
+  (match Obs.span_stats "a" with
+  | Some (count, total) ->
+      check_int "outer once" 1 count;
+      check "outer has time" true (total >= 0.0)
+  | None -> Alcotest.fail "span a missing");
+  (match Obs.span_stats "a/b" with
+  | Some (count, _) -> check_int "nested under joined path" 2 count
+  | None -> Alcotest.fail "span a/b missing");
+  check "no bare b" true (Obs.span_stats "b" = None)
+
+let test_span_closes_on_exception () =
+  (try Obs.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  (match Obs.span_stats "boom" with
+  | Some (count, _) -> check_int "recorded despite raise" 1 count
+  | None -> Alcotest.fail "span missing");
+  (* the stack unwound: a sibling span is not nested under "boom" *)
+  Obs.with_span "after" (fun () -> ());
+  check "sibling at top level" true (Obs.span_stats "after" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let c = Obs.counter "rt/counter" in
+  Obs.add c 7;
+  Obs.set_gauge (Obs.gauge "rt/gauge") 1.5;
+  Obs.observe (Obs.histogram "rt/hist") 42.0;
+  Obs.with_span "rt" (fun () -> ());
+  let j = Obs.to_json () in
+  (match Json.parse (Json.to_string j) with
+  | Ok j' -> check "compact round-trip" true (Json.equal j j')
+  | Error e -> Alcotest.fail ("compact parse: " ^ e));
+  match Json.parse (Json.to_string ~pretty:true j) with
+  | Ok j' -> check "pretty round-trip" true (Json.equal j j')
+  | Error e -> Alcotest.fail ("pretty parse: " ^ e)
+
+let test_json_parser_strictness () =
+  check "trailing garbage" true (Result.is_error (Json.parse "1 2"));
+  check "unterminated string" true (Result.is_error (Json.parse "\"ab"));
+  check "bare word" true (Result.is_error (Json.parse "nulx"));
+  (match Json.parse "{\"a\": [1, -2.5e1, true, null, \"\\u0041\"]}" with
+  | Ok j ->
+      check "escapes and numbers" true
+        (Json.equal j
+           (Json.Obj
+              [ ("a",
+                 Json.List
+                   [ Json.Int 1; Json.Float (-25.0); Json.Bool true; Json.Null;
+                     Json.String "A" ]) ]))
+  | Error e -> Alcotest.fail e);
+  check "nan prints as null" true (Json.to_string (Json.Float Float.nan) = "null")
+
+(* ------------------------------------------------------------------ *)
+(* reset *)
+
+let test_reset_keeps_handles () =
+  let c = Obs.counter "reset/c" in
+  let h = Obs.histogram "reset/h" in
+  Obs.add c 5;
+  Obs.observe h 1.0;
+  Obs.with_span "reset_span" (fun () -> ());
+  Obs.reset ();
+  check_int "counter zeroed" 0 (Obs.counter_value c);
+  check_int "histogram zeroed" 0 (Obs.histogram_count h);
+  check "span aggregates dropped" true (Obs.span_stats "reset_span" = None);
+  Obs.incr c;
+  check_int "old handle still live" 1 (Obs.counter_value c);
+  check_int "re-registration sees the same cell" 1
+    (Obs.counter_value (Obs.counter "reset/c"))
+
+(* ------------------------------------------------------------------ *)
+(* trace sinks *)
+
+let test_trace_buffer () =
+  let buf = Buffer.create 256 in
+  let sink = Trace.to_buffer buf in
+  Trace.emit sink [ ("ev", Json.String "x"); ("n", Json.Int 1) ];
+  Trace.emit sink [ ("ev", Json.String "y") ];
+  check_int "two events" 2 (Trace.events sink);
+  Trace.close sink;
+  Trace.close sink (* idempotent *);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per event" 2 (List.length lines);
+  List.iter
+    (fun l -> check "line parses" true (Result.is_ok (Json.parse l)))
+    lines;
+  check "emit after close raises" true
+    (match Trace.emit sink [ ("ev", Json.String "z") ] with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* parallel metrics == sequential metrics *)
+
+let snapshot () =
+  List.map
+    (fun name -> (name, Obs.counter_value (Obs.counter name)))
+    [ "core/trees_built"; "bfs/runs"; "bfs/expansions" ]
+
+let prop_parallel_metrics_match =
+  QCheck.Test.make ~count:15 ~name:"parallel union_trees metrics sum to sequential"
+    QCheck.(pair (int_range 65 120) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = Gen.erdos_renyi (Rand.create seed) n 0.08 in
+      Obs.set_enabled true;
+      Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+      Obs.reset ();
+      let h_seq = Rs_core.Remote_spanner.exact_distance g in
+      let seq = snapshot () in
+      Obs.reset ();
+      let h_par = Rs_core.Parallel.exact_distance ~domains:4 g in
+      let par = snapshot () in
+      Edge_set.cardinal h_seq = Edge_set.cardinal h_par && seq = par)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter arithmetic" `Quick (with_obs test_counter_arithmetic);
+          Alcotest.test_case "disabled is a no-op" `Quick (with_obs test_disabled_is_noop);
+          Alcotest.test_case "gauge last-write-wins" `Quick (with_obs test_gauge);
+          Alcotest.test_case "histogram arithmetic" `Quick (with_obs test_histogram_arithmetic);
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting joins paths" `Quick (with_obs test_span_nesting);
+          Alcotest.test_case "closes on exception" `Quick (with_obs test_span_closes_on_exception);
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "registry round-trip" `Quick (with_obs test_json_roundtrip);
+          Alcotest.test_case "parser strictness" `Quick (with_obs test_json_parser_strictness);
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "reset keeps handles" `Quick (with_obs test_reset_keeps_handles) ] );
+      ( "trace",
+        [ Alcotest.test_case "buffer sink" `Quick (with_obs test_trace_buffer) ] );
+      ( "parallel",
+        [ QCheck_alcotest.to_alcotest prop_parallel_metrics_match ] );
+    ]

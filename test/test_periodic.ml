@@ -15,7 +15,7 @@ let tree_r3 g u = Rs_core.Dom_tree.gdy g ~r:3 ~beta:1 u
 let test_cold_start_converges () =
   let g = Gen.cycle 10 in
   let period = 4 and radius = 1 and horizon = 30 in
-  let res = Periodic.simulate ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of:tree20 in
+  let res = Periodic.simulate ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of:tree20 () in
   (match res.Periodic.converged_at with
   | None -> Alcotest.fail "never converged"
   | Some t ->
@@ -27,7 +27,7 @@ let test_cold_start_converges () =
 let test_cold_start_radius3 () =
   let g = Gen.grid 4 5 in
   let period = 5 and radius = 3 and horizon = 40 in
-  let res = Periodic.simulate ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of:tree_r3 in
+  let res = Periodic.simulate ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of:tree_r3 () in
   (match res.Periodic.converged_at with
   | None -> Alcotest.fail "never converged"
   | Some t -> check "bound" true (t <= (2 * period) + (2 * radius) + 1));
@@ -37,7 +37,7 @@ let test_edge_addition_stabilizes () =
   let g = Gen.cycle 12 in
   let period = 4 and radius = 1 and horizon = 60 in
   let events = [ { Periodic.at = 30; add = [ (0, 6) ]; remove = [] } ] in
-  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 () in
   check "was converged before the event" true res.Periodic.matched.(29);
   (match res.Periodic.converged_at with
   | None -> Alcotest.fail "never re-converged"
@@ -50,7 +50,7 @@ let test_edge_removal_stabilizes () =
   let g = Gen.grid 3 5 in
   let period = 4 and radius = 1 and horizon = 80 in
   let events = [ { Periodic.at = 30; add = []; remove = [ (0, 1) ] } ] in
-  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 () in
   (match res.Periodic.converged_at with
   | None -> Alcotest.fail "never re-converged"
   | Some t ->
@@ -65,7 +65,7 @@ let test_multiple_events () =
     [ { Periodic.at = 20; add = [ (0, 4) ]; remove = [] };
       { Periodic.at = 40; add = [ (2, 7) ]; remove = [ (0, 4) ] } ]
   in
-  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 in
+  let res = Periodic.simulate ~initial:g ~events ~period ~radius ~horizon ~tree_of:tree20 () in
   check "re-converges after both" true (res.Periodic.converged_at <> None);
   check "final state good" true res.Periodic.matched.(horizon - 1)
 
@@ -73,7 +73,7 @@ let test_messages_accounted () =
   let g = Gen.cycle 8 in
   let res =
     Periodic.simulate ~initial:g ~events:[] ~period:4 ~radius:1 ~horizon:12
-      ~tree_of:tree20
+      ~tree_of:tree20 ()
   in
   (* every node originates 3 times over 12 rounds at 2 transmissions
      each (degree 2, ttl=1 so no forwarding); the two offset-3 nodes'
@@ -84,7 +84,7 @@ let test_messages_accounted () =
 let test_rejects_bad_params () =
   let g = Gen.cycle 5 in
   check "period 0" true
-    (match Periodic.simulate ~initial:g ~events:[] ~period:0 ~radius:1 ~horizon:5 ~tree_of:tree20 with
+    (match Periodic.simulate ~initial:g ~events:[] ~period:0 ~radius:1 ~horizon:5 ~tree_of:tree20 () with
     | _ -> false
     | exception Invalid_argument _ -> true)
 

@@ -194,7 +194,7 @@ let prop_periodic_cold_start g =
     let module P = Rs_distributed.Periodic in
     let res =
       P.simulate ~initial:g ~events:[] ~period:3 ~radius:1 ~horizon:20
-        ~tree_of:(fun g u -> Dom_tree_k.gdy_k g ~k:1 u)
+        ~tree_of:(fun g u -> Dom_tree_k.gdy_k g ~k:1 u) ()
     in
     res.P.matched.(19)
   end
