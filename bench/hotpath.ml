@@ -1,0 +1,82 @@
+(* Hot-path microbenchmarks gating the CSR / scratch / lazy-greedy /
+   work-stealing overhaul.
+
+   Usage:
+     dune exec bench/hotpath.exe             full sizes (n = 300, 1000, 2000)
+     dune exec bench/hotpath.exe -- quick    n = 300 only (CI)
+
+   Writes BENCH_hotpath.json (benchmark name -> ns/op) to the working
+   directory. scripts/check_bench.py compares a fresh run against the
+   committed baseline and fails CI on a >25% regression; see
+   docs/PERFORMANCE.md for how to read the numbers. *)
+
+open Rs_graph
+open Rs_core
+
+let now = Rs_obs.Obs.now
+
+(* Same constant-density unit disk model as bench/support.ml (kept
+   local: dune executables in one directory cannot share modules). *)
+let udg ~seed ~n ~density =
+  let rand = Rand.create seed in
+  let side = sqrt (float_of_int n /. density) in
+  let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+  Rs_geometry.Unit_ball.udg pts
+
+(* Wall-clock ns/op: one warm-up call, then repeat until both bounds
+   are met. Coarser than Bechamel's OLS but robust for the multi-second
+   union/verify runs at n = 2000. *)
+let time_ns ?(min_time = 0.2) ?(min_reps = 3) f =
+  ignore (Sys.opaque_identity (f ()));
+  let reps = ref 0 in
+  let t0 = now () in
+  let rec go () =
+    ignore (Sys.opaque_identity (f ()));
+    incr reps;
+    if now () -. t0 < min_time || !reps < min_reps then go ()
+  in
+  go ();
+  (now () -. t0) *. 1e9 /. float_of_int !reps
+
+let human ns =
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.1f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let bench_size rows ~n =
+  let g = udg ~seed:4242 ~n ~density:4.0 in
+  let tag name = Printf.sprintf "%s/udg%d" name n in
+  let add name f = rows := (tag name, time_ns f) :: !rows in
+  let scratch = Bfs.Scratch.create () in
+  add "bfs/dist" (fun () -> Bfs.dist g 0);
+  add "bfs/scratch_run" (fun () -> Bfs.Scratch.run scratch g 0);
+  add "domtree/gdy-r3b1" (fun () -> Dom_tree.gdy ~scratch g ~r:3 ~beta:1 0);
+  add "domtree/mis-r3" (fun () -> Dom_tree.mis ~scratch g ~r:3 0);
+  add "domtree/gdy_k2" (fun () -> Dom_tree_k.gdy_k ~scratch g ~k:2 0);
+  add "union/exact-seq" (fun () -> Remote_spanner.exact_distance g);
+  add "union/exact-par4" (fun () -> Parallel.exact_distance ~domains:4 g);
+  let h = Remote_spanner.exact_distance g in
+  add "verify/seq" (fun () -> Verify.is_remote_spanner g h ~alpha:1.0 ~beta:0.0);
+  add "verify/par4" (fun () ->
+      Parallel.is_remote_spanner ~domains:4 g h ~alpha:1.0 ~beta:0.0)
+
+let () =
+  let quick = Array.exists (( = ) "quick") Sys.argv in
+  let sizes = if quick then [ 300 ] else [ 300; 1000; 2000 ] in
+  let rows = ref [] in
+  List.iter (fun n -> bench_size rows ~n) sizes;
+  let rows = List.sort compare !rows in
+  Printf.printf "%-28s | %s\n" "benchmark" "time/op";
+  print_endline (String.make 42 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-28s | %s\n" name (human ns)) rows;
+  let json =
+    Rs_obs.Json.Obj (List.map (fun (name, ns) -> (name, Rs_obs.Json.Float ns)) rows)
+  in
+  let oc = open_out "BENCH_hotpath.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Rs_obs.Json.to_string ~pretty:true json);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_hotpath.json (%d benchmarks)\n" (List.length rows)

@@ -53,72 +53,110 @@ let layer_cover g dist r' beta =
   let sets = Array.map ball_of annulus in
   (sphere, annulus, { Setcover.universe = Array.length sphere; sets })
 
-let gdy g ~r ~beta u =
+let scratch_or = function Some s -> s | None -> Bfs.Scratch.create ()
+
+(* The explored ball grouped by BFS level, each level sorted by id so
+   downstream scans match the historical iter_vertices order. *)
+let levels_of s ~max_dist =
+  let levels = Array.make (max_dist + 1) [] in
+  for i = Bfs.Scratch.visited_count s - 1 downto 0 do
+    let v = Bfs.Scratch.visited s i in
+    let d = Bfs.Scratch.dist s v in
+    levels.(d) <- v :: levels.(d)
+  done;
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort Int.compare a;
+      a)
+    levels
+
+let gdy ?scratch g ~r ~beta u =
   if r < 1 || beta < 0 then invalid_arg "Dom_tree.gdy: need r >= 1, beta >= 0";
   Obs.incr c_trees;
-  let dist = Bfs.dist ~radius:(r + beta) g u in
-  let bfs_parent = Bfs.parents ~radius:(r + beta) g u in
+  let s = scratch_or scratch in
+  (* one traversal yields both distances and deterministic parents *)
+  Bfs.Scratch.run ~radius:(r + beta) s g u;
+  let levels = levels_of s ~max_dist:(r + beta) in
   let t = Tree.create ~n:(Graph.n g) ~root:u in
   for r' = 2 to r do
-    let sphere, annulus, inst = layer_cover g dist r' beta in
+    let sphere = levels.(r') in
+    let annulus =
+      let parts = ref [] and total = ref 0 in
+      for d = min (r' - 1 + beta) (r + beta) downto r' - 1 do
+        parts := levels.(d) :: !parts;
+        total := !total + Array.length levels.(d)
+      done;
+      let a = Array.concat !parts in
+      (* merged annulus must be id-sorted: the greedy tie-break is
+         "smallest candidate id", realized as smallest index *)
+      Array.sort Int.compare a;
+      assert (Array.length a = !total);
+      a
+    in
     Obs.incr c_layers;
     Obs.observe h_candidates (float_of_int (Array.length annulus));
-    (* greedy cover, grafting the shortest path per chosen annulus node *)
-    let alive = Array.make (Array.length sphere) true in
-    let remaining = ref (Array.length sphere) in
-    let used = Array.make (Array.length annulus) false in
-    let coverage s =
-      Array.fold_left (fun acc e -> if alive.(e) then acc + 1 else acc) 0 inst.Setcover.sets.(s)
+    let elt_of = Hashtbl.create (Array.length sphere) in
+    Array.iteri (fun i v -> Hashtbl.replace elt_of v i) sphere;
+    let ball_of x =
+      let acc = ref [] in
+      (match Hashtbl.find_opt elt_of x with Some i -> acc := [ i ] | None -> ());
+      Graph.iter_neighbors g x (fun w ->
+          match Hashtbl.find_opt elt_of w with Some i -> acc := i :: !acc | None -> ());
+      Array.of_list !acc
     in
-    while !remaining > 0 do
-      let best = ref (-1) and best_cov = ref 0 in
-      Array.iteri
-        (fun s _ ->
-          if not used.(s) then begin
-            let c = coverage s in
-            if c > !best_cov then begin
-              best := s;
-              best_cov := c
-            end
-          end)
-        annulus;
-      (* The paper argues a positive-coverage candidate always exists
-         while S is non-empty (the neighbor of an undominated sphere
-         node on a shortest path qualifies). *)
-      assert (!best >= 0);
-      used.(!best) <- true;
-      Tree.graft_parents t bfs_parent annulus.(!best);
-      Array.iter
-        (fun e ->
-          if alive.(e) then begin
-            alive.(e) <- false;
-            decr remaining
-          end)
-        inst.Setcover.sets.(!best)
-    done
+    let inst = { Setcover.universe = Array.length sphere; sets = Array.map ball_of annulus } in
+    (* lazy-greedy cover, grafting the shortest path per chosen annulus
+       node (same picks, same order as the historical eager rescan) *)
+    let picks = Setcover.greedy inst in
+    let covered = Array.make (Array.length sphere) false in
+    let ncov = ref 0 in
+    List.iter
+      (fun sid ->
+        Tree.graft_fn t (Bfs.Scratch.parent s) annulus.(sid);
+        Array.iter
+          (fun e ->
+            if not covered.(e) then begin
+              covered.(e) <- true;
+              incr ncov
+            end)
+          inst.Setcover.sets.(sid))
+      picks;
+    (* The paper argues a positive-coverage candidate always exists
+       while S is non-empty (the neighbor of an undominated sphere
+       node on a shortest path qualifies) — so greedy covers fully. *)
+    assert (!ncov = Array.length sphere)
   done;
   t
 
-let mis g ~r u =
+let mis ?scratch g ~r u =
   if r < 1 then invalid_arg "Dom_tree.mis: need r >= 1";
   Obs.incr c_trees;
-  let dist = Bfs.dist ~radius:r g u in
-  let bfs_parent = Bfs.parents ~radius:r g u in
+  let s = scratch_or scratch in
+  Bfs.Scratch.run ~radius:r s g u;
   let t = Tree.create ~n:(Graph.n g) ~root:u in
   (* B = B(u, r) \ B(u, 1), processed by increasing (distance, id). *)
   let b = ref [] in
-  Graph.iter_vertices (fun v -> if dist.(v) >= 2 && dist.(v) <= r then b := v :: !b) g;
+  for i = Bfs.Scratch.visited_count s - 1 downto 0 do
+    let v = Bfs.Scratch.visited s i in
+    let d = Bfs.Scratch.dist s v in
+    if d >= 2 && d <= r then b := v :: !b
+  done;
   let order = Array.of_list !b in
-  Array.sort (fun a b -> compare (dist.(a), a) (dist.(b), b)) order;
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (Bfs.Scratch.dist s a) (Bfs.Scratch.dist s b) in
+      if c <> 0 then c else Int.compare a b)
+    order;
   Obs.observe h_candidates (float_of_int (Array.length order));
-  let alive = Array.make (Graph.n g) false in
-  Array.iter (fun v -> alive.(v) <- true) order;
+  let dead = Bfs.Scratch.marks s in
+  Bfs.Marks.clear dead;
   Array.iter
     (fun x ->
-      if alive.(x) then begin
-        Tree.graft_parents t bfs_parent x;
-        alive.(x) <- false;
-        Array.iter (fun w -> alive.(w) <- false) (Graph.neighbors g x)
+      if not (Bfs.Marks.mem dead x) then begin
+        Tree.graft_fn t (Bfs.Scratch.parent s) x;
+        Bfs.Marks.set dead x;
+        Graph.iter_neighbors g x (fun w -> Bfs.Marks.set dead w)
       end)
     order;
   t

@@ -20,17 +20,24 @@ val is_dominating : Graph.t -> r:int -> beta:int -> Tree.t -> bool
 (** Literal check of the definition above, plus that the tree's edges
     belong to the graph and its root paths are genuine. *)
 
-val gdy : Graph.t -> r:int -> beta:int -> int -> Tree.t
+val gdy : ?scratch:Bfs.Scratch.t -> Graph.t -> r:int -> beta:int -> int -> Tree.t
 (** [gdy g ~r ~beta u]: Algorithm 1. For each layer [r' = 2..r] it
     covers the sphere S = {v : d(u,v) = r'} greedily with balls
     [B(x,1)] for x in the annulus [r'-1 <= d(u,x) <= r'-1+beta],
     grafting a shortest path u..x per pick. Ties broken by smallest
-    vertex id (deterministic). Requires [r >= 1], [beta >= 0]. *)
+    vertex id (deterministic). Requires [r >= 1], [beta >= 0].
 
-val mis : Graph.t -> r:int -> int -> Tree.t
+    One combined BFS supplies distances and parents; the cover is a
+    lazy greedy ({!Rs_setcover.Setcover.greedy}). Pass [~scratch] to
+    reuse traversal state across many roots — per-tree work is then
+    proportional to the explored ball, not to [n]. The scratch must
+    not be shared between domains. *)
+
+val mis : ?scratch:Bfs.Scratch.t -> Graph.t -> r:int -> int -> Tree.t
 (** [mis g ~r u]: Algorithm 2 (beta fixed to 1). Greedily selects a
     maximal independent set of [B(u,r) \ B(u,1)] by increasing
-    distance from [u] (ties by id) and grafts shortest paths. *)
+    distance from [u] (ties by id) and grafts shortest paths.
+    [~scratch] as in {!gdy}. *)
 
 val optimal_size_star : ?limit:int -> Graph.t -> int -> int option
 (** Exact minimum edge count of a (2, 0)-dominating tree for [u].

@@ -1,4 +1,5 @@
 open Rs_graph
+module Setcover = Rs_setcover.Setcover
 module Obs = Rs_obs.Obs
 
 let c_trees = Obs.counter "domtree/trees_built"
@@ -42,59 +43,65 @@ let is_k_dominating g ~k ~beta t =
 (* Removal rule shared by both algorithms, instantiated with the
    "already fully used" predicate and the disjointness requirement. *)
 
-let gdy_k g ~k u =
+let scratch_or = function Some s -> s | None -> Bfs.Scratch.create ()
+
+(* The 2-sphere of the last scratch run, ascending id (the order the
+   historical iter_vertices scan produced). *)
+let sphere2_of s =
+  let acc = ref [] in
+  for i = Bfs.Scratch.visited_count s - 1 downto 0 do
+    let v = Bfs.Scratch.visited s i in
+    if Bfs.Scratch.dist s v = 2 then acc := v :: !acc
+  done;
+  let a = Array.of_list !acc in
+  Array.sort Int.compare a;
+  a
+
+let gdy_k ?scratch g ~k u =
   if k < 1 then invalid_arg "Dom_tree_k.gdy_k: k < 1";
   Obs.incr c_trees;
+  let s = scratch_or scratch in
+  Bfs.Scratch.run ~radius:2 s g u;
   let t = Tree.create ~n:(Graph.n g) ~root:u in
-  let dist = Bfs.dist ~radius:2 g u in
-  let sphere = ref [] in
-  Graph.iter_vertices (fun v -> if dist.(v) = 2 then sphere := v :: !sphere) g;
-  if Obs.enabled () then Obs.observe h_sphere (float_of_int (List.length !sphere));
-  let in_m = Array.make (Graph.n g) false in
-  let alive = Hashtbl.create 64 in
-  List.iter (fun v -> Hashtbl.replace alive v ()) !sphere;
-  let covered_enough v =
-    let common = common_neighbors g u v in
-    List.for_all (fun w -> in_m.(w)) common
-    || List.length (List.filter (fun w -> in_m.(w)) common) >= k
+  let sphere = sphere2_of s in
+  if Obs.enabled () then Obs.observe h_sphere (float_of_int (Array.length sphere));
+  (* "Cover every sphere node v by min(k, |N(u) ∩ N(v)|) relays,
+     repeatedly picking the relay covering most unsatisfied nodes
+     (smallest id on ties)" is exactly greedy k-multicover with the
+     relays N(u) as sets — N(u) is id-sorted, so smallest set index =
+     smallest relay id and the lazy greedy reproduces the historical
+     pick sequence. *)
+  let elt_of = Hashtbl.create (Array.length sphere) in
+  Array.iteri (fun i v -> Hashtbl.replace elt_of v i) sphere;
+  let relays = Graph.neighbors g u in
+  let ball_of x =
+    let acc = ref [] in
+    Graph.iter_neighbors g x (fun w ->
+        match Hashtbl.find_opt elt_of w with Some i -> acc := i :: !acc | None -> ());
+    Array.of_list !acc
   in
-  while Hashtbl.length alive > 0 do
-    (* pick x in N(u) \ M maximizing |N(x) ∩ S|, smallest id on ties *)
-    let best = ref (-1) and best_cov = ref 0 in
-    Array.iter
-      (fun x ->
-        if not in_m.(x) then begin
-          let c =
-            Array.fold_left
-              (fun acc w -> if Hashtbl.mem alive w then acc + 1 else acc)
-              0 (Graph.neighbors g x)
-          in
-          if c > !best_cov then begin
-            best := x;
-            best_cov := c
-          end
-        end)
-      (Graph.neighbors g u);
-    assert (!best >= 0);
-    in_m.(!best) <- true;
-    Obs.incr c_relays;
-    Tree.add_edge t ~parent:u ~child:!best;
-    Hashtbl.iter
-      (fun v () -> if covered_enough v then Hashtbl.remove alive v)
-      (Hashtbl.copy alive)
-  done;
+  let inst = { Setcover.universe = Array.length sphere; sets = Array.map ball_of relays } in
+  let picks = Setcover.greedy_multicover inst ~k in
+  List.iter
+    (fun sid ->
+      Obs.incr c_relays;
+      Tree.add_edge t ~parent:u ~child:relays.(sid))
+    picks;
+  (* every 2-sphere node has a common neighbor with u, so the greedy
+     multicover always saturates the (capped) demands *)
+  assert (Setcover.is_cover inst ~k picks);
   t
 
-let mis_k g ~k u =
+let mis_k ?scratch g ~k u =
   if k < 1 then invalid_arg "Dom_tree_k.mis_k: k < 1";
   Obs.incr c_trees;
+  let sc = scratch_or scratch in
+  Bfs.Scratch.run ~radius:2 sc g u;
   let t = Tree.create ~n:(Graph.n g) ~root:u in
-  let dist = Bfs.dist ~radius:2 g u in
-  let sphere = ref [] in
-  Graph.iter_vertices (fun v -> if dist.(v) = 2 then sphere := v :: !sphere) g;
-  if Obs.enabled () then Obs.observe h_sphere (float_of_int (List.length !sphere));
+  let sphere = sphere2_of sc in
+  if Obs.enabled () then Obs.observe h_sphere (float_of_int (Array.length sphere));
   let s = Hashtbl.create 64 in
-  List.iter (fun v -> Hashtbl.replace s v ()) (List.rev !sphere);
+  Array.iter (fun v -> Hashtbl.replace s v ()) sphere;
   let dominated v =
     common_neighbors g u v |> List.for_all (fun w -> Tree.mem t w)
     || disjoint_branch_count g t ~beta:1 v >= k

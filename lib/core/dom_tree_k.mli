@@ -29,13 +29,16 @@ val disjoint_branch_count : Graph.t -> Tree.t -> beta:int -> int -> int
 val is_k_dominating : Graph.t -> k:int -> beta:int -> Tree.t -> bool
 (** Literal check of the definition above. *)
 
-val gdy_k : Graph.t -> k:int -> int -> Tree.t
+val gdy_k : ?scratch:Bfs.Scratch.t -> Graph.t -> k:int -> int -> Tree.t
 (** Algorithm 4 (DomTreeGdy_{2,0,k}): greedy k-multicover of the
-    2-sphere of [u] by neighbor balls; the tree is a star around [u].
-    Edge count within [1 + log Delta] of the optimal k-connecting
-    (2,0)-dominating tree (Proposition 6). Ties by smallest id. *)
+    2-sphere of [u] by neighbor balls ({!Rs_setcover.Setcover}'s lazy
+    greedy); the tree is a star around [u]. Edge count within
+    [1 + log Delta] of the optimal k-connecting (2,0)-dominating tree
+    (Proposition 6). Ties by smallest id. Pass [~scratch] to reuse BFS
+    state across roots (per-tree work proportional to the 2-ball, not
+    [n]); a scratch must not be shared between domains. *)
 
-val mis_k : Graph.t -> k:int -> int -> Tree.t
+val mis_k : ?scratch:Bfs.Scratch.t -> Graph.t -> k:int -> int -> Tree.t
 (** Algorithm 5 (DomTreeMIS_{2,1,k}): k rounds of greedy maximal
     independent sets over the not-yet-dominated 2-sphere; each picked
     node [x] is attached through a fresh common neighbor and up to

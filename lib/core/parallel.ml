@@ -17,13 +17,48 @@ let record_domain items dt =
     Obs.observe h_domain_wall dt
   end
 
-let union_trees ?domains g tree_of =
+(* Work-stealing over the vertex range [0, n): domains repeatedly claim
+   the next chunk off a shared atomic cursor, so a domain that lands on
+   cheap vertices simply claims more chunks instead of idling at a
+   static block boundary. Chunks are big enough to amortize the
+   fetch-and-add, small enough that the tail imbalance is bounded by
+   one chunk per domain. *)
+let chunk_size n domains = max 1 (min 64 (n / (domains * 8)))
+
+(* Each domain runs [worker claim]: a full claim-process loop plus any
+   per-domain finalization (e.g. merging its accumulator), returning
+   how many items it processed. [claim] hands out chunks until the
+   range is exhausted or [stop ()] aborts the sweep
+   (claimed-but-unprocessed chunks are then fine to drop). The calling
+   domain doubles as a worker, so [domains] counts it. *)
+let drive ~n ~domains ~stop worker =
+  let cursor = Atomic.make 0 in
+  let chunk = chunk_size n domains in
+  let claim () =
+    if stop () then None
+    else
+      let lo = Atomic.fetch_and_add cursor chunk in
+      if lo >= n then None else Some (lo, min (n - 1) (lo + chunk - 1))
+  in
+  let run_domain () =
+    let t0 = if Obs.enabled () then Obs.now () else 0.0 in
+    let items = worker claim in
+    let dt = if Obs.enabled () then Obs.now () -. t0 else 0.0 in
+    (items, dt)
+  in
+  let handles = List.init (domains - 1) (fun _ -> Domain.spawn run_domain) in
+  let own = run_domain () in
+  let per_domain = own :: List.map Domain.join handles in
+  List.iter (fun (items, dt) -> record_domain items dt) per_domain
+
+let union_trees_with ?domains g make_tree_of =
   Obs.with_span "parallel/union_trees" @@ fun () ->
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let n = Graph.n g in
   if domains = 1 || n < 64 then begin
     let t0 = if Obs.enabled () then Obs.now () else 0.0 in
     let acc = Edge_set.create g in
+    let tree_of = make_tree_of () in
     for u = 0 to n - 1 do
       Obs.incr c_trees;
       Tree.add_to acc (tree_of u)
@@ -32,85 +67,113 @@ let union_trees ?domains g tree_of =
     acc
   end
   else begin
-    let block = (n + domains - 1) / domains in
-    let work lo hi () =
-      let t0 = if Obs.enabled () then Obs.now () else 0.0 in
-      let acc = Edge_set.create g in
-      for u = lo to hi do
-        Obs.incr c_trees;
-        Tree.add_to acc (tree_of u)
-      done;
-      let dt = if Obs.enabled () then Obs.now () -. t0 else 0.0 in
-      (acc, hi - lo + 1, dt)
-    in
-    let handles =
-      List.init domains (fun d ->
-          let lo = d * block and hi = min (n - 1) (((d + 1) * block) - 1) in
-          if lo > hi then None else Some (Domain.spawn (work lo hi)))
-    in
     let result = Edge_set.create g in
-    List.iter
-      (function
-        | None -> ()
-        | Some handle ->
-            let acc, items, dt = Domain.join handle in
-            record_domain items dt;
-            Edge_set.union_into result acc)
-      handles;
+    let mutex = Mutex.create () in
+    drive ~n ~domains
+      ~stop:(fun () -> false)
+      (fun claim ->
+        (* per-domain state: a private tree builder (with its own BFS
+           scratch) and a private accumulator, merged under the mutex
+           once when the domain runs out of chunks *)
+        let tree_of = make_tree_of () in
+        let acc = Edge_set.create g in
+        let items = ref 0 in
+        let rec loop () =
+          match claim () with
+          | None -> ()
+          | Some (lo, hi) ->
+              for u = lo to hi do
+                Obs.incr c_trees;
+                Tree.add_to acc (tree_of u)
+              done;
+              items := !items + (hi - lo + 1);
+              loop ()
+        in
+        loop ();
+        Mutex.lock mutex;
+        Edge_set.union_into result acc;
+        Mutex.unlock mutex;
+        !items);
     result
   end
 
-let exact_distance ?domains g = union_trees ?domains g (Dom_tree_k.gdy_k g ~k:1)
+let union_trees ?domains g tree_of = union_trees_with ?domains g (fun () -> tree_of)
+
+let exact_distance ?domains g =
+  union_trees_with ?domains g (fun () ->
+      let scratch = Bfs.Scratch.create () in
+      Dom_tree_k.gdy_k ~scratch g ~k:1)
 
 let low_stretch ?domains g ~eps =
-  union_trees ?domains g (Dom_tree.mis g ~r:(Remote_spanner.r_of_eps eps))
+  let r = Remote_spanner.r_of_eps eps in
+  union_trees_with ?domains g (fun () ->
+      let scratch = Bfs.Scratch.create () in
+      Dom_tree.mis ~scratch g ~r)
 
-let k_connecting ?domains g ~k = union_trees ?domains g (Dom_tree_k.gdy_k g ~k)
+let k_connecting ?domains g ~k =
+  union_trees_with ?domains g (fun () ->
+      let scratch = Bfs.Scratch.create () in
+      Dom_tree_k.gdy_k ~scratch g ~k)
 
-let two_connecting ?domains g = union_trees ?domains g (Dom_tree_k.mis_k g ~k:2)
+let two_connecting ?domains g =
+  union_trees_with ?domains g (fun () ->
+      let scratch = Bfs.Scratch.create () in
+      Dom_tree_k.mis_k ~scratch g ~k:2)
 
 let is_remote_spanner ?domains g h ~alpha ~beta =
   Obs.with_span "parallel/is_remote_spanner" @@ fun () ->
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let n = Graph.n g in
   let h_adj = Edge_set.to_adjacency h in
-  let check_range lo hi () =
-    let t0 = if Obs.enabled () then Obs.now () else 0.0 in
-    let ok = ref true in
-    let u = ref lo in
-    while !ok && !u <= hi do
-      let du_g = Bfs.dist g !u in
-      let du_h = Bfs.augmented_dist g h_adj !u in
-      for v = 0 to n - 1 do
-        if v <> !u && du_g.(v) > 1 then begin
-          let bound = (alpha *. float_of_int du_g.(v)) +. beta in
-          if du_h.(v) < 0 || float_of_int du_h.(v) > bound +. 1e-9 then ok := false
-        end
-      done;
-      incr u
+  let ok = Atomic.make true in
+  let check_source sg sh u =
+    Bfs.Scratch.run sg g u;
+    Bfs.Scratch.run_augmented sh g h_adj u;
+    let violated = ref false in
+    let count = Bfs.Scratch.visited_count sg in
+    let i = ref 0 in
+    while (not !violated) && !i < count do
+      let v = Bfs.Scratch.visited sg !i in
+      let d_g = Bfs.Scratch.dist sg v in
+      if d_g > 1 then begin
+        let d_h = Bfs.Scratch.dist sh v in
+        let bound = (alpha *. float_of_int d_g) +. beta in
+        if d_h < 0 || float_of_int d_h > bound +. 1e-9 then violated := true
+      end;
+      incr i
     done;
-    let dt = if Obs.enabled () then Obs.now () -. t0 else 0.0 in
-    (!ok, hi - lo + 1, dt)
+    if !violated then Atomic.set ok false
   in
   if domains = 1 || n < 64 then begin
-    let ok, items, dt = check_range 0 (n - 1) () in
-    record_domain items dt;
-    ok
+    let t0 = if Obs.enabled () then Obs.now () else 0.0 in
+    let sg = Bfs.Scratch.create () and sh = Bfs.Scratch.create () in
+    let u = ref 0 in
+    while Atomic.get ok && !u < n do
+      check_source sg sh !u;
+      incr u
+    done;
+    record_domain !u (if Obs.enabled () then Obs.now () -. t0 else 0.0)
   end
-  else begin
-    let block = (n + domains - 1) / domains in
-    let handles =
-      List.init domains (fun d ->
-          let lo = d * block and hi = min (n - 1) (((d + 1) * block) - 1) in
-          if lo > hi then None else Some (Domain.spawn (check_range lo hi)))
-    in
-    List.fold_left
-      (fun acc handle ->
-        match handle with
-        | None -> acc
-        | Some h ->
-            let ok, items, dt = Domain.join h in
-            record_domain items dt;
-            ok && acc)
-      true handles
-  end
+  else
+    drive ~n ~domains
+      ~stop:(fun () -> not (Atomic.get ok))
+      (fun claim ->
+        let sg = Bfs.Scratch.create () and sh = Bfs.Scratch.create () in
+        let items = ref 0 in
+        let rec loop () =
+          match claim () with
+          | None -> ()
+          | Some (lo, hi) ->
+              let u = ref lo in
+              (* early abort: a violation anywhere stops every domain
+                 at its next chunk claim (and this one mid-chunk) *)
+              while Atomic.get ok && !u <= hi do
+                check_source sg sh !u;
+                incr u
+              done;
+              items := !items + (!u - lo);
+              loop ()
+        in
+        loop ();
+        !items);
+  Atomic.get ok

@@ -15,12 +15,21 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
 
 val union_trees : ?domains:int -> Graph.t -> (int -> Tree.t) -> Edge_set.t
-(** Parallel version of {!Remote_spanner.union_trees}: vertices are
-    split into [domains] contiguous blocks, each block's trees are
-    computed and unioned in its own domain, and the per-domain edge
-    sets are merged. [tree_of] must be safe to call concurrently on
-    distinct vertices (all constructions in this library are: they
-    only read the immutable graph). *)
+(** Parallel version of {!Remote_spanner.union_trees}: domains claim
+    chunks of the vertex range off a shared atomic cursor
+    (work-stealing — a domain that lands on cheap vertices claims more
+    chunks instead of idling at a static block boundary), build each
+    chunk's trees into a private edge set, and merge once when they run
+    dry. [tree_of] must be safe to call concurrently on distinct
+    vertices (all constructions in this library are: they only read
+    the immutable graph). *)
+
+val union_trees_with : ?domains:int -> Graph.t -> (unit -> int -> Tree.t) -> Edge_set.t
+(** Like {!union_trees}, but the factory is invoked once per domain so
+    each domain can hold private mutable state — typically a
+    {!Bfs.Scratch.t} captured by the returned tree builder, which must
+    never be shared between domains. The entry points below use this to
+    give every domain its own reusable traversal scratch. *)
 
 val exact_distance : ?domains:int -> Graph.t -> Edge_set.t
 val low_stretch : ?domains:int -> Graph.t -> eps:float -> Edge_set.t

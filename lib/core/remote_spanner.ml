@@ -24,25 +24,33 @@ let r_of_eps eps =
   if eps <= 0.0 || eps > 1.0 then invalid_arg "Remote_spanner.r_of_eps: need 0 < eps <= 1";
   int_of_float (Float.ceil (1.0 /. eps)) + 1
 
+(* Each entry point shares one BFS scratch across all n per-node
+   trees, so the whole union does O(sum of explored balls) work instead
+   of n full re-initializations. *)
 let rem_span g ~r ~beta =
   Obs.with_span "build/rem_span" (fun () ->
-      built (union_trees g (Dom_tree.gdy g ~r ~beta)))
+      let scratch = Bfs.Scratch.create () in
+      built (union_trees g (Dom_tree.gdy ~scratch g ~r ~beta)))
 
 let low_stretch g ~eps =
   Obs.with_span "build/low_stretch" (fun () ->
-      built (union_trees g (Dom_tree.mis g ~r:(r_of_eps eps))))
+      let scratch = Bfs.Scratch.create () in
+      built (union_trees g (Dom_tree.mis ~scratch g ~r:(r_of_eps eps))))
 
 let exact_distance g =
   Obs.with_span "build/exact_distance" (fun () ->
-      built (union_trees g (Dom_tree_k.gdy_k g ~k:1)))
+      let scratch = Bfs.Scratch.create () in
+      built (union_trees g (Dom_tree_k.gdy_k ~scratch g ~k:1)))
 
 let k_connecting g ~k =
   Obs.with_span "build/k_connecting" (fun () ->
-      built (union_trees g (Dom_tree_k.gdy_k g ~k)))
+      let scratch = Bfs.Scratch.create () in
+      built (union_trees g (Dom_tree_k.gdy_k ~scratch g ~k)))
 
 let k_connecting_mis g ~k =
   Obs.with_span "build/k_connecting_mis" (fun () ->
-      built (union_trees g (Dom_tree_k.mis_k g ~k)))
+      let scratch = Bfs.Scratch.create () in
+      built (union_trees g (Dom_tree_k.mis_k ~scratch g ~k)))
 
 let two_connecting g = k_connecting_mis g ~k:2
 
@@ -151,10 +159,17 @@ module Distributed = struct
       rounds_total = 1 + collect_stats.Sim.rounds + flood_stats.Sim.rounds;
     }
 
+  (* one scratch per run: local views vary in size, the scratch grows
+     to the largest and is reused for every node's view *)
   let rem_span g ~r ~beta =
-    run_with g ~radius:(r - 1 + beta) (fun local u -> Dom_tree.gdy local ~r ~beta u)
+    let scratch = Bfs.Scratch.create () in
+    run_with g ~radius:(r - 1 + beta) (fun local u -> Dom_tree.gdy ~scratch local ~r ~beta u)
 
-  let k_connecting g ~k = run_with g ~radius:1 (fun local u -> Dom_tree_k.gdy_k local ~k u)
+  let k_connecting g ~k =
+    let scratch = Bfs.Scratch.create () in
+    run_with g ~radius:1 (fun local u -> Dom_tree_k.gdy_k ~scratch local ~k u)
 
-  let two_connecting g = run_with g ~radius:2 (fun local u -> Dom_tree_k.mis_k local ~k:2 u)
+  let two_connecting g =
+    let scratch = Bfs.Scratch.create () in
+    run_with g ~radius:2 (fun local u -> Dom_tree_k.mis_k ~scratch local ~k:2 u)
 end

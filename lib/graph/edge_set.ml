@@ -89,7 +89,7 @@ let to_adjacency s =
       adj.(v).(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1)
     s;
-  Array.iter (fun a -> Array.sort compare a) adj;
+  Array.iter (fun a -> Array.sort Int.compare a) adj;
   adj
 
 let to_graph s = Graph.make ~n:(Graph.n s.g) (to_list s)

@@ -1,13 +1,23 @@
+(* Flat CSR core: [off] has n+1 offsets into [nbr], which packs every
+   vertex's sorted neighbor list; [nbr_eid] carries the canonical edge
+   id in lock-step with [nbr]. Adjacency queries are cache-friendly
+   array scans and edge probes are binary searches — no hash tables on
+   the hot path. [adj] keeps the historical per-vertex arrays alive for
+   the [neighbors] accessor (they alias slices of the same data). *)
 type t = {
   n : int;
+  off : int array; (* length n+1 *)
+  nbr : int array; (* length 2m, sorted within each vertex's range *)
+  nbr_eid : int array; (* edge id of nbr.(i), aligned with nbr *)
   adj : int array array;
   edges : (int * int) array;
-  eid : (int, int) Hashtbl.t; (* key = u * n + v with u < v *)
 }
 
-let key g u v = if u < v then (u * g.n) + v else (v * g.n) + u
-
 let canonical u v = if u < v then (u, v) else (v, u)
+
+let cmp_edge (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
 
 let build n edge_list =
   List.iter
@@ -16,39 +26,72 @@ let build n edge_list =
         invalid_arg (Printf.sprintf "Graph.make: endpoint out of range (%d,%d)" u v);
       if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u))
     edge_list;
-  let tbl = Hashtbl.create (max 16 (List.length edge_list)) in
-  List.iter
-    (fun (u, v) ->
-      let u, v = canonical u v in
-      Hashtbl.replace tbl ((u * n) + v) (u, v))
-    edge_list;
-  let edges = Array.make (Hashtbl.length tbl) (0, 0) in
-  let i = ref 0 in
-  Hashtbl.iter
-    (fun _ e ->
-      edges.(!i) <- e;
-      incr i)
-    tbl;
-  Array.sort compare edges;
+  (* canonicalize, sort lexicographically, drop duplicates *)
+  let raw = Array.of_list (List.map (fun (u, v) -> canonical u v) edge_list) in
+  Array.sort cmp_edge raw;
+  let m =
+    let count = ref 0 in
+    Array.iteri (fun i e -> if i = 0 || cmp_edge raw.(i - 1) e <> 0 then incr count) raw;
+    !count
+  in
+  let edges = Array.make m (0, 0) in
+  let j = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if i = 0 || cmp_edge raw.(i - 1) e <> 0 then begin
+        edges.(!j) <- e;
+        incr j
+      end)
+    raw;
   let deg = Array.make n 0 in
   Array.iter
     (fun (u, v) ->
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
     edges;
-  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
-  let fill = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let nbr = Array.make (2 * m) 0 in
+  let nbr_eid = Array.make (2 * m) 0 in
+  let fill = Array.copy off in
+  Array.iteri
+    (fun id (u, v) ->
+      nbr.(fill.(u)) <- v;
+      nbr_eid.(fill.(u)) <- id;
       fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
+      nbr.(fill.(v)) <- u;
+      nbr_eid.(fill.(v)) <- id;
       fill.(v) <- fill.(v) + 1)
     edges;
-  Array.iter (fun a -> Array.sort compare a) adj;
-  let eid = Hashtbl.create (max 16 (Array.length edges)) in
-  Array.iteri (fun i (u, v) -> Hashtbl.replace eid ((u * n) + v) i) edges;
-  { n; adj; edges; eid }
+  (* per-vertex ranges must be sorted by neighbor id, carrying the edge
+     ids along; edges arrive lex-sorted so each range is a merge of two
+     already-sorted streams — a plain paired sort keeps it simple *)
+  let idx = Array.make (Array.fold_left max 0 deg) 0 in
+  let tmp_n = Array.make (Array.length idx) 0 in
+  let tmp_e = Array.make (Array.length idx) 0 in
+  for u = 0 to n - 1 do
+    let lo = off.(u) and d = deg.(u) in
+    let sorted = ref true in
+    for i = lo + 1 to lo + d - 1 do
+      if nbr.(i - 1) > nbr.(i) then sorted := false
+    done;
+    if not !sorted then begin
+      let sub = Array.sub idx 0 d in
+      Array.iteri (fun i _ -> sub.(i) <- lo + i) sub;
+      Array.sort (fun a b -> Int.compare nbr.(a) nbr.(b)) sub;
+      Array.iteri
+        (fun i p ->
+          tmp_n.(i) <- nbr.(p);
+          tmp_e.(i) <- nbr_eid.(p))
+        sub;
+      Array.blit tmp_n 0 nbr lo d;
+      Array.blit tmp_e 0 nbr_eid lo d
+    end
+  done;
+  let adj = Array.init n (fun u -> Array.sub nbr off.(u) deg.(u)) in
+  { n; off; nbr; nbr_eid; adj; edges }
 
 let make ~n edges =
   if n < 0 then invalid_arg "Graph.make: negative n";
@@ -59,16 +102,48 @@ let of_arrays ~n edges = make ~n (Array.to_list edges)
 let n g = g.n
 let m g = Array.length g.edges
 let neighbors g u = g.adj.(u)
-let degree g u = Array.length g.adj.(u)
+let degree g u = g.off.(u + 1) - g.off.(u)
 
-let max_degree g = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+let csr g = (g.off, g.nbr)
 
-let mem_edge g u v = u <> v && Hashtbl.mem g.eid (key g u v)
+let iter_neighbors g u f =
+  let nbr = g.nbr in
+  for i = g.off.(u) to g.off.(u + 1) - 1 do
+    f nbr.(i)
+  done
+
+let fold_neighbors g u f acc =
+  let nbr = g.nbr in
+  let acc = ref acc in
+  for i = g.off.(u) to g.off.(u + 1) - 1 do
+    acc := f !acc nbr.(i)
+  done;
+  !acc
+
+let max_degree g =
+  let best = ref 0 in
+  for u = 0 to g.n - 1 do
+    best := max !best (degree g u)
+  done;
+  !best
+
+(* binary search for [v] in [u]'s CSR range; -1 when absent *)
+let nbr_slot g u v =
+  let lo = ref g.off.(u) and hi = ref (g.off.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.nbr.(mid) in
+    if w = v then found := mid else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let mem_edge g u v = u <> v && u >= 0 && u < g.n && v >= 0 && v < g.n && nbr_slot g u v >= 0
 
 let edge_id g u v =
-  match Hashtbl.find_opt g.eid (key g u v) with
-  | Some id -> id
-  | None -> raise Not_found
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then raise Not_found;
+  let slot = nbr_slot g u v in
+  if slot < 0 then raise Not_found else g.nbr_eid.(slot)
 
 let edge g id = g.edges.(id)
 let edges g = g.edges
@@ -100,12 +175,10 @@ let induced g vs =
   let es = ref [] in
   Array.iteri
     (fun i v ->
-      Array.iter
-        (fun w ->
+      iter_neighbors g v (fun w ->
           match Hashtbl.find_opt fwd w with
           | Some j when i < j -> es := (i, j) :: !es
-          | _ -> ())
-        g.adj.(v))
+          | _ -> ()))
     vs;
   (make ~n:k !es, Array.copy vs)
 
@@ -118,7 +191,16 @@ let remove_vertex g u =
 let union_edges g es =
   make ~n:g.n (List.rev_append es (Array.to_list g.edges))
 
-let equal g1 g2 = g1.n = g2.n && g1.edges = g2.edges
+let equal g1 g2 =
+  g1.n = g2.n
+  && Array.length g1.edges = Array.length g2.edges
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i e -> if cmp_edge e g2.edges.(i) <> 0 then ok := false)
+         g1.edges;
+       !ok
+     end
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph n=%d m=%d@,@[<hov>" g.n (m g);

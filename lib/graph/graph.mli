@@ -6,6 +6,12 @@
     as [(min u v, max u v)] pairs). Self-loops are rejected; duplicate
     edges are merged at construction.
 
+    Internally the adjacency is a flat CSR layout (an [n+1] offset
+    array into one packed neighbor array, with edge ids carried in
+    lock-step), so neighbor iteration is a contiguous scan and
+    adjacency/edge-id probes are binary searches over a vertex's sorted
+    range — no hashing on any hot path (see docs/PERFORMANCE.md).
+
     This is the substrate every remote-spanner algorithm operates on. *)
 
 type t
@@ -33,8 +39,25 @@ val degree : t -> int -> int
 val max_degree : t -> int
 (** Maximum degree, 0 for the empty graph. *)
 
+val csr : t -> int array * int array
+(** [csr g] is the raw [(offsets, packed_neighbors)] pair of the CSR
+    layout: vertex [u]'s neighbors are
+    [packed_neighbors.(offsets.(u) .. offsets.(u+1) - 1)], sorted
+    increasing. Both arrays are owned by the graph and must not be
+    mutated. Intended for allocation-free inner loops (BFS). *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g u f] calls [f v] for every neighbor [v] of [u]
+    in increasing order, without allocating. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** [fold_neighbors g u f acc] folds [f] over [u]'s neighbors in
+    increasing order. *)
+
 val mem_edge : t -> int -> int -> bool
-(** [mem_edge g u v] tests adjacency (symmetric; false for [u = v]). *)
+(** [mem_edge g u v] tests adjacency (symmetric; false for [u = v] and
+    out-of-range endpoints). Binary search over [u]'s sorted CSR
+    range: [O(log deg u)], allocation-free. *)
 
 val edge_id : t -> int -> int -> int
 (** [edge_id g u v] is the canonical id of edge [uv].

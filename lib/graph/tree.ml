@@ -26,16 +26,18 @@ let add_edge t ~parent ~child =
     t.size <- t.size + 1
   end
 
-let graft_parents t bfs_parent x =
-  if bfs_parent.(x) < 0 then invalid_arg "Tree.graft_parents: vertex unreached";
+let graft_fn t parent_of x =
+  if parent_of x < 0 then invalid_arg "Tree.graft_fn: vertex unreached";
   let rec climb v =
     if not (mem t v) then begin
-      let p = bfs_parent.(v) in
+      let p = parent_of v in
       climb p;
       add_edge t ~parent:p ~child:v
     end
   in
   climb x
+
+let graft_parents t bfs_parent x = graft_fn t (Array.get bfs_parent) x
 
 let depth t v =
   if not (mem t v) then invalid_arg "Tree.depth: not a member";

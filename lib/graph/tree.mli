@@ -25,6 +25,11 @@ val add_edge : t -> parent:int -> child:int -> unit
     its existing parent (re-adding the same edge is a no-op; conflicting
     parents raise [Invalid_argument] — a tree has one path per node). *)
 
+val graft_fn : t -> (int -> int) -> int -> unit
+(** [graft_fn t parent_of x]: like {!graft_parents} with the parent
+    relation given as a function (e.g. {!Bfs.Scratch.parent} partially
+    applied), so callers need not materialize a parent array. *)
+
 val graft_parents : t -> int array -> int -> unit
 (** [graft_parents t bfs_parent x] adds the whole path root..x read off
     a BFS parent array rooted at [t]'s root (see {!Bfs.parents}). Stops

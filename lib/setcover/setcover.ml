@@ -22,53 +22,91 @@ let demand_cap inst =
     inst.sets;
   cap
 
+(* Lazy greedy: residual coverages only decrease as demands are
+   consumed, so a set's last-known coverage is a valid upper bound. We
+   bucket sets by that bound and, per round, re-evaluate only the top
+   bucket: movers sink to their true bucket, and once any member
+   verifies at the top level, {e every} set whose true coverage equals
+   the maximum is in that verified batch (anything cached lower is
+   truly lower) — so picking the smallest index among them reproduces
+   the eager scan's deterministic tie-break (max coverage, then
+   smallest set index) exactly. Each set's cached bound only sinks,
+   which is what makes the total re-evaluation work amortize. *)
+
 (* Residual coverage of a set: elements it contains whose demand is
-   still positive, counting each element once. *)
-let residual inst demand set_id used =
-  if used.(set_id) then -1
-  else begin
-    let seen = Hashtbl.create 8 in
-    let count = ref 0 in
-    Array.iter
-      (fun e ->
-        if demand.(e) > 0 && not (Hashtbl.mem seen e) then begin
-          Hashtbl.replace seen e ();
-          incr count
-        end)
-      inst.sets.(set_id);
-    !count
-  end
+   still positive, counting each element once. [seen]/[gen] implement a
+   generation-stamped member check so evaluation allocates nothing. *)
+let residual_stamped sets demand seen gen set_id =
+  incr gen;
+  let stamp = !gen in
+  let count = ref 0 in
+  Array.iter
+    (fun e ->
+      if demand.(e) > 0 && seen.(e) <> stamp then begin
+        seen.(e) <- stamp;
+        incr count
+      end)
+    sets.(set_id);
+  !count
 
 let greedy_with_demand inst demand =
   let nsets = Array.length inst.sets in
-  let used = Array.make nsets false in
   let total = ref (Array.fold_left ( + ) 0 demand) in
-  let picks = ref [] in
-  while !total > 0 do
-    let best = ref (-1) and best_cov = ref 0 in
+  if nsets = 0 || !total = 0 then []
+  else begin
+    let seen = Array.make (max 1 inst.universe) 0 in
+    let gen = ref 0 in
+    let residual = residual_stamped inst.sets demand seen gen in
+    let maxcov = ref 0 in
+    let cov = Array.make nsets 0 in
     for s = 0 to nsets - 1 do
-      let c = residual inst demand s used in
-      if c > !best_cov then begin
-        best := s;
-        best_cov := c
-      end
+      cov.(s) <- residual s;
+      if cov.(s) > !maxcov then maxcov := cov.(s)
     done;
-    if !best < 0 then total := 0 (* residual demands unsatisfiable; done *)
-    else begin
-      used.(!best) <- true;
-      picks := !best :: !picks;
-      let seen = Hashtbl.create 8 in
-      Array.iter
-        (fun e ->
-          if demand.(e) > 0 && not (Hashtbl.mem seen e) then begin
-            Hashtbl.replace seen e ();
-            demand.(e) <- demand.(e) - 1;
-            decr total
-          end)
-        inst.sets.(!best)
-    end
-  done;
-  List.rev !picks
+    let bucket = Array.make (!maxcov + 1) [] in
+    for s = nsets - 1 downto 0 do
+      bucket.(cov.(s)) <- s :: bucket.(cov.(s))
+    done;
+    let picks = ref [] in
+    let top = ref !maxcov in
+    while
+      !total > 0
+      && begin
+           while !top > 0 && bucket.(!top) = [] do
+             decr top
+           done;
+           !top > 0
+         end
+    do
+      let c = !top in
+      (* re-evaluate the whole top bucket: stale entries sink, and the
+         verified batch is exactly the set of current argmaxes *)
+      let verified = ref [] in
+      List.iter
+        (fun s ->
+          let c' = residual s in
+          if c' = c then verified := s :: !verified else bucket.(c') <- s :: bucket.(c'))
+        bucket.(c);
+      bucket.(c) <- [];
+      match !verified with
+      | [] -> ()
+      | vs ->
+          let s_star = List.fold_left min max_int vs in
+          bucket.(c) <- List.filter (fun s -> s <> s_star) vs;
+          picks := s_star :: !picks;
+          incr gen;
+          let stamp = !gen in
+          Array.iter
+            (fun e ->
+              if demand.(e) > 0 && seen.(e) <> stamp then begin
+                seen.(e) <- stamp;
+                demand.(e) <- demand.(e) - 1;
+                decr total
+              end)
+            inst.sets.(s_star)
+    done;
+    List.rev !picks
+  end
 
 let greedy_multicover inst ~k =
   if k < 1 then invalid_arg "Setcover.greedy_multicover: k < 1";

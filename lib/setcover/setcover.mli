@@ -21,7 +21,13 @@ val greedy : instance -> int list
 (** Classical greedy set cover: repeatedly pick the set covering the
     most uncovered elements (smallest index on ties — deterministic).
     Elements contained in no set are ignored. Returns chosen set
-    indices in pick order. *)
+    indices in pick order.
+
+    Implemented as a lazy greedy over coverage buckets: residual
+    coverages only decrease, so sets are re-evaluated only when they
+    surface at the current maximum instead of rescanning every set per
+    round. Output-identical to the eager scan, including the
+    tie-break. *)
 
 val greedy_multicover : instance -> k:int -> int list
 (** Greedy k-multicover: every element [e] must be covered

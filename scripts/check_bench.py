@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_hotpath.json run against the committed baseline.
+
+Usage: check_bench.py BASELINE CURRENT [--threshold PCT]
+
+Both files are flat {benchmark name: ns per op} objects written by
+bench/hotpath.exe. Only keys present in BOTH files are compared (the
+CI quick run covers a subset of the full baseline sizes). Exits
+non-zero listing every benchmark that is more than PCT percent slower
+than the baseline (default 25). Speed-ups are reported but never fail.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not all(
+        isinstance(v, (int, float)) for v in doc.values()
+    ):
+        sys.exit(f"{path}: expected a flat object of numeric ns/op values")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="allowed regression in percent (default 25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        sys.exit("no common benchmarks between baseline and current run")
+
+    regressions = []
+    width = max(len(k) for k in common)
+    print(f"{'benchmark':<{width}} | {'baseline':>12} | {'current':>12} | delta")
+    print("-" * (width + 48))
+    for name in common:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b * 100.0 if b > 0 else 0.0
+        flag = " <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<{width}} | {b:12.0f} | {c:12.0f} | {delta:+6.1f}%{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    skipped = sorted(set(base) ^ set(cur))
+    if skipped:
+        print(f"(not compared: {', '.join(skipped)})")
+
+    if regressions:
+        names = ", ".join(f"{n} ({d:+.1f}%)" for n, d in regressions)
+        sys.exit(f"{len(regressions)} benchmark(s) regressed beyond "
+                 f"{args.threshold:.0f}%: {names}")
+    print(f"all {len(common)} compared benchmarks within {args.threshold:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()
