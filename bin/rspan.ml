@@ -24,8 +24,9 @@ module Json = Rs_obs.Json
 module Trace = Rs_obs.Trace
 
 let read_graph path =
-  try Ok (Graph_io.load path)
-  with Failure msg | Sys_error msg -> Error (`Msg msg)
+  try Ok (Graph_io.load path) with
+  | Sys_error msg -> Error (`Msg msg)
+  | Failure msg | Invalid_argument msg -> Error (`Msg (path ^ ": " ^ msg))
 
 (* ------------------------------------------------------------------ *)
 (* --stats[=FILE]: global observability switch, dumped at exit *)
@@ -60,10 +61,14 @@ let obs_term =
   in
   Term.(const obs_setup $ arg)
 
-let graph_conv = Arg.conv (read_graph, fun fmt _ -> Format.fprintf fmt "<graph>")
-
+(* The positional GRAPH argument is a plain filename loaded inside each
+   command so a malformed or missing file yields a one-line diagnostic
+   and a nonzero exit, not a usage dump or an uncaught backtrace. *)
 let graph_arg idx =
-  Arg.(required & pos idx (some graph_conv) None & info [] ~docv:"GRAPH" ~doc:"Graph file (n m header then edge lines).")
+  Arg.(required & pos idx (some string) None & info [] ~docv:"GRAPH" ~doc:"Graph file (n m header then edge lines).")
+
+let with_graph file f =
+  match read_graph file with Error e -> Error e | Ok g -> f g
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
@@ -164,7 +169,8 @@ let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Connectivity / stretch p
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomized baselines.")
 
 let build_cmd =
-  let run () algo eps k seed g output =
+  let run () algo eps k seed graph_file output =
+    with_graph graph_file @@ fun g ->
     let h = build_algo algo ~eps ~k ~seed g in
     emit output (Graph_io.to_string (Edge_set.to_graph h));
     Logs.app (fun m ->
@@ -184,7 +190,8 @@ let build_cmd =
 (* profile *)
 
 let profile_cmd =
-  let run () algo eps k seed g output =
+  let run () algo eps k seed graph_file output =
+    with_graph graph_file @@ fun g ->
     (* full instrumentation regardless of --stats; JSON to stdout (or
        -o FILE) so it can be piped straight into schema checks, human
        summary to stderr. *)
@@ -219,6 +226,83 @@ let profile_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* fault-injection flags, shared by sim / periodic / churn *)
+
+module Fault = Rs_distributed.Fault
+
+type fault_flags = {
+  loss : float;
+  fdup : float;
+  fdelay : int;
+  jitter : int;
+  until : int option;
+  crash_plan : string option;
+  fault_seed : int;
+}
+
+let fault_term =
+  let loss =
+    Arg.(value & opt float 0.0
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-transmission drop probability in [0,1].")
+  in
+  let fdup =
+    Arg.(value & opt float 0.0
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-transmission duplication probability in [0,1].")
+  in
+  let fdelay =
+    Arg.(value & opt int 0
+         & info [ "delay" ] ~docv:"D" ~doc:"Fixed extra delivery delay (rounds).")
+  in
+  let jitter =
+    Arg.(value & opt int 0
+         & info [ "jitter" ] ~docv:"J" ~doc:"Additional uniform delivery delay in [0..$(docv)] rounds.")
+  in
+  let until =
+    Arg.(value & opt (some int) None
+         & info [ "fault-until" ] ~docv:"R"
+             ~doc:"Apply the stochastic faults (loss/dup/delay/jitter) only to rounds < $(docv); default: forever.")
+  in
+  let crash_plan =
+    Arg.(value & opt (some string) None
+         & info [ "crash-plan" ] ~docv:"FILE"
+             ~doc:"Crash/flap schedule: lines 'crash NODE AT [RECOVER]' and 'flap U V DOWN UP' ('#' comments).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed of the fault plan's random stream; a fixed seed makes faulty runs reproducible.")
+  in
+  Term.(
+    const (fun loss fdup fdelay jitter until crash_plan fault_seed ->
+        { loss; fdup; fdelay; jitter; until; crash_plan; fault_seed })
+    $ loss $ fdup $ fdelay $ jitter $ until $ crash_plan $ fault_seed)
+
+(* [None] when no flag engages a fault, so the byte-identical fast path
+   of the simulators is taken by default. *)
+let build_faults f =
+  let schedule =
+    match f.crash_plan with
+    | None -> Ok ([], [])
+    | Some path -> (
+        try Ok (Fault.load_schedule path)
+        with Failure msg | Sys_error msg -> Error (`Msg msg))
+  in
+  match schedule with
+  | Error e -> Error e
+  | Ok (crashes, flaps) ->
+      if f.loss = 0.0 && f.fdup = 0.0 && f.fdelay = 0 && f.jitter = 0
+         && crashes = [] && flaps = []
+      then Ok None
+      else (
+        try
+          Ok
+            (Some
+               (Fault.make ~drop:f.loss ~dup:f.fdup ~delay:f.fdelay
+                  ~jitter:f.jitter ?until:f.until ~crashes ~flaps
+                  ~seed:f.fault_seed ()))
+        with Invalid_argument msg -> Error (`Msg msg))
+
+(* ------------------------------------------------------------------ *)
 (* sim *)
 
 let sim_cmd =
@@ -227,12 +311,16 @@ let sim_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL event trace of the run.")
   in
-  let run () radius trace g =
+  let run () radius trace ff graph_file =
+    with_graph graph_file @@ fun g ->
+    match build_faults ff with
+    | Error e -> Error e
+    | Ok faults -> (
     match Option.map Trace.to_file trace with
     | exception Sys_error msg -> Error (`Msg msg)
     | sink ->
     let finish () = Option.iter Trace.close sink in
-    match Rs_distributed.Sim.collect_neighborhoods ?trace:sink g ~radius with
+    match Rs_distributed.Sim.collect_neighborhoods ?trace:sink ?faults g ~radius with
     | exception e ->
         finish ();
         raise e
@@ -246,18 +334,130 @@ let sim_cmd =
             m "busiest round: %d messages, %d payload; halted nodes: %d"
               stats.Sim.max_round_messages stats.Sim.max_round_payload
               stats.Sim.halted_nodes);
+        if faults <> None then
+          Logs.app (fun m ->
+              m "faults: dropped=%d duplicated=%d delayed=%d (delivery %.1f%%)"
+                stats.Sim.dropped stats.Sim.duplicated stats.Sim.delayed
+                (100.0
+                 *. float_of_int stats.Sim.messages
+                 /. float_of_int (max 1 (stats.Sim.messages + stats.Sim.dropped))));
         Option.iter
           (fun f -> Logs.app (fun m -> m "trace: %s (%d events)" f
                                  (match sink with Some s -> Trace.events s | None -> 0)))
           trace;
-        Ok ()
+        Ok ())
   in
-  let term = Term.(term_result (const run $ obs_term $ radius $ trace $ graph_arg 0)) in
+  let term =
+    Term.(term_result (const run $ obs_term $ radius $ trace $ fault_term $ graph_arg 0))
+  in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
          "Run the LOCAL-model neighborhood collection (phase 1 of RemSpan) and \
-          report traffic statistics; --trace captures a replayable JSONL event log.")
+          report traffic statistics — optionally under seeded fault injection \
+          (--loss, --dup, --delay, --jitter, --crash-plan, --fault-seed); \
+          --trace captures a replayable JSONL event log.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* periodic *)
+
+let periodic_cmd =
+  let module Periodic = Rs_distributed.Periodic in
+  let period = Arg.(value & opt int 4 & info [ "period" ] ~doc:"Origination period T (rounds).") in
+  let radius = Arg.(value & opt int 1 & info [ "radius" ] ~doc:"Advertisement flooding TTL.") in
+  let horizon = Arg.(value & opt int 60 & info [ "horizon" ] ~doc:"Simulated rounds.") in
+  let expiry =
+    Arg.(value & opt (some int) None
+         & info [ "expiry" ] ~docv:"E" ~doc:"Soft-state lifetime (rounds; default 2*period).")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"LOSSES"
+             ~doc:"Comma-separated loss rates; run once per rate and print a degradation table (delivery and convergence lag vs. loss).")
+  in
+  let bound =
+    Arg.(value & opt (some int) None
+         & info [ "assert-bound" ] ~docv:"B"
+             ~doc:"Fail unless every run self-stabilizes within $(docv) rounds of faults ceasing.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL event trace (single run only).")
+  in
+  let run () period radius horizon expiry sweep bound trace ff graph_file =
+    with_graph graph_file @@ fun g ->
+    let tree_of g u = Rs_core.Dom_tree_k.gdy_k g ~k:1 u in
+    let losses =
+      match sweep with
+      | None -> Ok [ ff.loss ]
+      | Some s -> (
+          try
+            Ok (List.map (fun x -> float_of_string (String.trim x))
+                  (String.split_on_char ',' s))
+          with Failure _ -> Error (`Msg ("cannot parse --sweep: " ^ s)))
+    in
+    match losses with
+    | Error e -> Error e
+    | Ok losses ->
+    if sweep <> None && trace <> None then
+      Error (`Msg "--sweep and --trace cannot be combined")
+    else
+    (* a sweep needs faults to cease for convergence lag to be defined *)
+    let ff =
+      if sweep <> None && ff.until = None then { ff with until = Some (horizon / 2) }
+      else ff
+    in
+    let one loss =
+      match build_faults { ff with loss } with
+      | Error e -> Error e
+      | Ok faults -> (
+          match Option.map Trace.to_file trace with
+          | exception Sys_error msg -> Error (`Msg msg)
+          | sink ->
+              let res =
+                Fun.protect ~finally:(fun () -> Option.iter Trace.close sink)
+                @@ fun () ->
+                Periodic.simulate ?trace:sink ?faults ?expiry ~initial:g
+                  ~events:[] ~period ~radius ~horizon ~tree_of ()
+              in
+              let delivery =
+                100.0
+                *. float_of_int res.Periodic.messages
+                /. float_of_int (max 1 (res.Periodic.messages + res.Periodic.lost))
+              in
+              let lag = Periodic.stabilization_lag res in
+              Logs.app (fun m ->
+                  m "loss=%.2f delivered=%d lost=%d (%.1f%%) converged_at=%s lag=%s"
+                    loss res.Periodic.messages res.Periodic.lost delivery
+                    (match res.Periodic.converged_at with
+                    | Some t -> string_of_int t
+                    | None -> "never")
+                    (match lag with Some l -> string_of_int l | None -> "-"));
+              (match bound with
+              | Some b when not (Periodic.self_stabilizes res ~bound:b) ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf
+                         "loss=%.2f: did not self-stabilize within %d rounds" loss b))
+              | _ -> Ok ()))
+    in
+    List.fold_left
+      (fun acc loss -> match acc with Error _ -> acc | Ok () -> one loss)
+      (Ok ()) losses
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ period $ radius $ horizon $ expiry $ sweep $ bound
+       $ trace $ fault_term $ graph_arg 0))
+  in
+  Cmd.v
+    (Cmd.info "periodic"
+       ~doc:
+         "Run the Section-2.3 periodic link-state protocol, optionally under \
+          seeded fault injection, and report delivery and self-stabilization \
+          lag; --sweep prints graceful degradation as a function of loss rate.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -282,7 +482,8 @@ let verify_cmd =
   let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Check k-connecting stretch up to k (k=1: plain remote-spanner).") in
   let edge = Arg.(value & flag & info [ "edge" ] ~doc:"With -k: use edge-disjoint paths instead of vertex-disjoint.") in
   let spanner_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Spanner edge file.") in
-  let run () alpha beta k edge g spanner_file =
+  let run () alpha beta k edge graph_file spanner_file =
+    with_graph graph_file @@ fun g ->
     match edge_set_of g spanner_file with
     | Error e -> Error e
     | Ok h ->
@@ -328,7 +529,8 @@ let stats_cmd =
              ~doc:"Optional spanner: also report its edge count against the Theorem-2 \
                    2(1+log Delta) approximation bound.")
   in
-  let run () g spanner_file =
+  let run () graph_file spanner_file =
+    with_graph graph_file @@ fun g ->
     let degrees = Graph.fold_vertices (fun acc u -> Graph.degree g u :: acc) [] g in
     let avg_deg =
       if degrees = [] then 0.0
@@ -385,7 +587,8 @@ let route_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL trace of the route (route_start, hop, route_end).")
   in
-  let run () src dst trace g spanner_file =
+  let run () src dst trace graph_file spanner_file =
+    with_graph graph_file @@ fun g ->
     match edge_set_of g spanner_file with
     | Error e -> Error e
     | Ok h -> (
@@ -426,7 +629,8 @@ let route_cmd =
 
 let dot_cmd =
   let spanner_file = Arg.(value & pos 1 (some string) None & info [] ~docv:"SPANNER" ~doc:"Optional spanner to highlight.") in
-  let run () g spanner_file output =
+  let run () graph_file spanner_file output =
+    with_graph graph_file @@ fun g ->
     match spanner_file with
     | None ->
         emit output (Graph_io.to_dot g);
@@ -454,7 +658,8 @@ let render_cmd =
   in
   let width = Arg.(value & opt int 76 & info [ "width" ] ~doc:"Canvas width.") in
   let height = Arg.(value & opt int 28 & info [ "height" ] ~doc:"Canvas height.") in
-  let run () g coords_file spanner_file width height =
+  let run () graph_file coords_file spanner_file width height =
+    with_graph graph_file @@ fun g ->
     match (try Ok (Rs_geometry.Point_io.load coords_file) with Failure m | Sys_error m -> Error (`Msg m)) with
     | Error e -> Error e
     | Ok pts -> (
@@ -484,7 +689,10 @@ let churn_cmd =
   let refresh = Arg.(value & opt int 8 & info [ "refresh" ] ~doc:"Advertisement refresh period (steps).") in
   let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Simulation length (steps).") in
   let side = Arg.(value & opt float 4.0 & info [ "side" ] ~doc:"Square side (unit radio range).") in
-  let run () n seed speed refresh steps side =
+  let run () n seed speed refresh steps side ff =
+    match build_faults ff with
+    | Error e -> Error e
+    | Ok faults ->
     let module W = Rs_mobility.Waypoint in
     let module C = Rs_mobility.Churn_eval in
     let model =
@@ -498,7 +706,8 @@ let churn_cmd =
         { C.name = "2conn-RS"; build = Remote_spanner.two_connecting } ]
     in
     let reports =
-      C.run (Rand.create (seed + 1)) ~model ~strategies ~steps ~refresh ~pairs_per_step:6
+      C.run ?faults (Rand.create (seed + 1)) ~model ~strategies ~steps ~refresh
+        ~pairs_per_step:6
     in
     List.iter
       (fun r ->
@@ -510,7 +719,9 @@ let churn_cmd =
     Ok ()
   in
   let term =
-    Term.(term_result (const run $ obs_term $ n $ seed $ speed $ refresh $ steps $ side))
+    Term.(
+      term_result
+        (const run $ obs_term $ n $ seed $ speed $ refresh $ steps $ side $ fault_term))
   in
   Cmd.v (Cmd.info "churn" ~doc:"Routing-under-mobility comparison of advertised sub-graphs.") term
 
@@ -521,7 +732,7 @@ let () =
   let info = Cmd.info "rspan" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ gen_cmd; build_cmd; profile_cmd; sim_cmd; verify_cmd; stats_cmd; route_cmd; dot_cmd;
-        render_cmd; churn_cmd ]
+      [ gen_cmd; build_cmd; profile_cmd; sim_cmd; periodic_cmd; verify_cmd; stats_cmd;
+        route_cmd; dot_cmd; render_cmd; churn_cmd ]
   in
   exit (Cmd.eval group)

@@ -1,0 +1,196 @@
+module Rand = Rs_graph.Rand
+module Obs = Rs_obs.Obs
+
+type crash = { node : int; at : int; recover : int option }
+
+type flap = { u : int; v : int; down : int; up : int }
+
+type plan = {
+  seed : int;
+  drop : float;
+  delay : int;
+  jitter : int;
+  dup : float;
+  until : int option;
+  crashes : crash list;
+  flaps : flap list;
+}
+
+let none =
+  { seed = 0; drop = 0.0; delay = 0; jitter = 0; dup = 0.0; until = None;
+    crashes = []; flaps = [] }
+
+let make ?(drop = 0.0) ?(delay = 0) ?(jitter = 0) ?(dup = 0.0) ?until
+    ?(crashes = []) ?(flaps = []) ~seed () =
+  let prob name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.make: %s = %g not in [0, 1]" name p)
+  in
+  prob "drop" drop;
+  prob "dup" dup;
+  if delay < 0 then invalid_arg "Fault.make: negative delay";
+  if jitter < 0 then invalid_arg "Fault.make: negative jitter";
+  (match until with
+  | Some t when t < 0 -> invalid_arg "Fault.make: negative until"
+  | _ -> ());
+  List.iter
+    (fun c ->
+      if c.at < 0 then invalid_arg "Fault.make: crash at a negative round";
+      match c.recover with
+      | Some r when r <= c.at ->
+          invalid_arg
+            (Printf.sprintf "Fault.make: crash of node %d recovers at %d <= %d"
+               c.node r c.at)
+      | _ -> ())
+    crashes;
+  List.iter
+    (fun f ->
+      if f.down < 0 then invalid_arg "Fault.make: flap down at a negative round";
+      if f.up <= f.down then
+        invalid_arg
+          (Printf.sprintf "Fault.make: flap of link %d-%d is empty (%d..%d)" f.u
+             f.v f.down f.up))
+    flaps;
+  { seed; drop; delay; jitter; dup; until; crashes; flaps }
+
+let stochastic p = p.drop > 0.0 || p.dup > 0.0 || p.delay > 0 || p.jitter > 0
+
+let is_none p = (not (stochastic p)) && p.crashes = [] && p.flaps = []
+
+let quiet_at p =
+  let s =
+    if not (stochastic p) then 0
+    else match p.until with Some t -> t | None -> max_int
+  in
+  let c =
+    List.fold_left
+      (fun acc cr -> match cr.recover with Some r -> max acc r | None -> max_int)
+      0 p.crashes
+  in
+  let f = List.fold_left (fun acc fl -> max acc fl.up) 0 p.flaps in
+  max s (max c f)
+
+let last_transition p =
+  let c =
+    List.fold_left
+      (fun acc cr -> max acc (match cr.recover with Some r -> r | None -> cr.at))
+      0 p.crashes
+  in
+  List.fold_left (fun acc fl -> max acc fl.up) c p.flaps
+
+(* ------------------------------------------------------------------ *)
+
+let c_drops = Obs.counter "fault/drops"
+let c_dups = Obs.counter "fault/dups"
+let c_delays = Obs.counter "fault/delays"
+
+type state = {
+  plan : plan;
+  rand : Rand.t;
+  crash_tbl : (int, (int * int) list) Hashtbl.t; (* node -> [at, recover) *)
+  flap_tbl : (int * int, (int * int) list) Hashtbl.t; (* link -> [down, up) *)
+}
+
+let start plan =
+  let crash_tbl = Hashtbl.create 8 and flap_tbl = Hashtbl.create 8 in
+  let push tbl k iv =
+    Hashtbl.replace tbl k (iv :: (Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+  in
+  List.iter
+    (fun c ->
+      push crash_tbl c.node (c.at, match c.recover with Some r -> r | None -> max_int))
+    plan.crashes;
+  List.iter
+    (fun f ->
+      let key = if f.u < f.v then (f.u, f.v) else (f.v, f.u) in
+      push flap_tbl key (f.down, f.up))
+    plan.flaps;
+  { plan; rand = Rand.create plan.seed; crash_tbl; flap_tbl }
+
+let plan_of st = st.plan
+
+let in_no_interval tbl key round =
+  match Hashtbl.find_opt tbl key with
+  | None -> true
+  | Some ivs -> not (List.exists (fun (a, b) -> a <= round && round < b) ivs)
+
+let node_up st ~round u = in_no_interval st.crash_tbl u round
+
+let link_up st ~round u v =
+  in_no_interval st.flap_tbl (if u < v then (u, v) else (v, u)) round
+
+type outcome = Dropped | Deliver of int list
+
+let transmit st ~round =
+  let p = st.plan in
+  let active = match p.until with None -> true | Some t -> round < t in
+  if not active then Deliver [ 0 ]
+  else if p.drop > 0.0 && Rand.float st.rand 1.0 < p.drop then begin
+    Obs.incr c_drops;
+    Dropped
+  end
+  else begin
+    let copies =
+      if p.dup > 0.0 && Rand.float st.rand 1.0 < p.dup then begin
+        Obs.incr c_dups;
+        2
+      end
+      else 1
+    in
+    let delay_one () =
+      let d = p.delay + (if p.jitter > 0 then Rand.int st.rand (p.jitter + 1) else 0) in
+      if d > 0 then Obs.incr c_delays;
+      d
+    in
+    (* List.init evaluates in index order in OCaml >= 4.14, but make the
+       draw order explicit anyway: first copy first. *)
+    let ds = ref [] in
+    for _ = 1 to copies do
+      ds := delay_one () :: !ds
+    done;
+    Deliver (List.rev !ds)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* schedule files *)
+
+let parse_schedule text =
+  let crashes = ref [] and flaps = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let toks =
+        String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+        |> List.filter (( <> ) "")
+      in
+      let bad why =
+        failwith (Printf.sprintf "Fault.parse_schedule: line %d: %s" (i + 1) why)
+      in
+      let int s = match int_of_string_opt s with Some v -> v | None -> bad ("not an integer: " ^ s) in
+      match toks with
+      | [] -> ()
+      | "crash" :: rest -> (
+          match rest with
+          | [ node; at ] -> crashes := { node = int node; at = int at; recover = None } :: !crashes
+          | [ node; at; recover ] ->
+              crashes :=
+                { node = int node; at = int at; recover = Some (int recover) } :: !crashes
+          | _ -> bad "expected: crash NODE AT [RECOVER]")
+      | [ "flap"; u; v; down; up ] ->
+          flaps := { u = int u; v = int v; down = int down; up = int up } :: !flaps
+      | kw :: _ -> bad ("unknown directive: " ^ kw))
+    lines;
+  (List.rev !crashes, List.rev !flaps)
+
+let load_schedule path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse_schedule (really_input_string ic len))

@@ -1,0 +1,128 @@
+(** Deterministic, seeded fault injection for the distributed stack.
+
+    The paper's Section 2.3 argues Algorithm RemSpan suits practical
+    link-state routing precisely because it is local and soft-state —
+    claims that only mean something under the conditions that motivate
+    soft state: message loss, duplication, delay, link flapping and
+    node churn. A {!plan} describes such conditions declaratively;
+    {!Sim.run}, {!Periodic.simulate} and [Churn_eval.run] accept one
+    via their [?faults] argument and consult a running {!state} for
+    every transmission.
+
+    {b Determinism contract.} All stochastic decisions flow through a
+    private splitmix64 stream seeded from [plan.seed] and advanced in
+    a fixed order (one {!transmit} call per attempted transmission, in
+    simulator delivery order). Two runs with equal plans and equal
+    workloads make identical decisions — faulty runs are reproducible
+    bit-for-bit from [--fault-seed]. Passing no plan at all leaves the
+    host simulator byte-identical to its fault-free behaviour (no
+    stream is created, no decision is drawn). *)
+
+type crash = {
+  node : int;
+  at : int;  (** first round the node is down *)
+  recover : int option;  (** first round it is back up; [None] = never *)
+}
+
+type flap = {
+  u : int;
+  v : int;  (** undirected link, order irrelevant *)
+  down : int;  (** first round the link is down *)
+  up : int;  (** first round it carries traffic again *)
+}
+
+type plan = {
+  seed : int;
+  drop : float;  (** per-transmission loss probability, [0..1] *)
+  delay : int;  (** fixed extra delivery delay, rounds >= 0 *)
+  jitter : int;  (** additional uniform delay in [0..jitter] *)
+  dup : float;  (** per-transmission duplication probability, [0..1] *)
+  until : int option;
+      (** stochastic faults (drop/delay/jitter/dup) apply only to
+          rounds [< until]; [None] = forever *)
+  crashes : crash list;
+  flaps : flap list;
+}
+
+val none : plan
+(** The empty plan: nothing dropped, delayed, duplicated or crashed.
+    Running under [Some none] is observationally identical to running
+    with no plan. *)
+
+val make :
+  ?drop:float ->
+  ?delay:int ->
+  ?jitter:int ->
+  ?dup:float ->
+  ?until:int ->
+  ?crashes:crash list ->
+  ?flaps:flap list ->
+  seed:int ->
+  unit ->
+  plan
+(** Build a validated plan. Raises [Invalid_argument] when a
+    probability is outside [0..1], a delay/jitter is negative, or a
+    schedule interval is empty ([recover <= at], [up <= down]). *)
+
+val is_none : plan -> bool
+(** No stochastic component and no schedules. *)
+
+val quiet_at : plan -> int
+(** First round from which the plan can no longer interfere: the max
+    of [until] (0 when no stochastic fault is configured), every crash
+    [recover] and every flap [up]. [max_int] when faults never cease —
+    an unbounded stochastic component ([until = None]) or an
+    unrecovered crash; self-stabilization can then not be certified. *)
+
+val last_transition : plan -> int
+(** Last round at which a scheduled crash/recover or flap down/up
+    transition occurs (0 for a schedule-free plan). Simulators keep
+    running at least this long so scheduled events fire even after
+    protocol quiescence. Unlike {!quiet_at} this ignores unbounded
+    stochastic faults and treats an unrecovered crash as its [at]
+    round (a dead node causes no further transitions). *)
+
+(** {1 Runtime} *)
+
+type state
+(** A plan plus its random stream and indexed schedules. *)
+
+val start : plan -> state
+
+val plan_of : state -> plan
+
+val node_up : state -> round:int -> int -> bool
+
+val link_up : state -> round:int -> int -> int -> bool
+(** Whether the (undirected) link carries traffic this round. *)
+
+type outcome =
+  | Dropped
+  | Deliver of int list
+      (** per-copy delivery delays: [[0]] is normal next-round
+          delivery; two elements mean the message was duplicated *)
+
+val transmit : state -> round:int -> outcome
+(** Decide the fate of one transmission attempted in [round]. Advances
+    the random stream (drop draw, then dup draw if [dup > 0], then one
+    jitter draw per copy if [jitter > 0]); bumps the [fault/drops],
+    [fault/dups] and [fault/delays] counters. Outside the [until]
+    window this returns [Deliver [0]] without consuming randomness. *)
+
+(** {1 Schedule files}
+
+    A crash/flap schedule is a line-oriented text file ([#] comments
+    and blank lines ignored):
+
+    {v
+    crash NODE AT [RECOVER]     # RECOVER omitted = never recovers
+    flap  U V DOWN UP
+    v} *)
+
+val parse_schedule : string -> crash list * flap list
+(** Parse schedule text. Raises [Failure] naming the offending line on
+    malformed input. *)
+
+val load_schedule : string -> crash list * flap list
+(** [parse_schedule] over a file's contents. Raises [Sys_error] on I/O
+    failure. *)

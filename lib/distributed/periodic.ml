@@ -7,10 +7,19 @@ module Json = Rs_obs.Json
 let c_originations = Obs.counter "periodic/originations"
 let c_recomputes = Obs.counter "periodic/recomputes"
 let c_expirations = Obs.counter "periodic/expirations"
+let c_crashes = Obs.counter "fault/crashes"
+let c_recoveries = Obs.counter "fault/recoveries"
+let h_convergence_lag = Obs.histogram "periodic/convergence_lag"
 
 type event = { at : int; add : (int * int) list; remove : (int * int) list }
 
-type result = { converged_at : int option; matched : bool array; messages : int }
+type result = {
+  converged_at : int option;
+  matched : bool array;
+  messages : int;
+  lost : int;
+  quiet_at : int;
+}
 
 type entry = { seq : int; nbrs : int array; heard_at : int }
 
@@ -38,6 +47,20 @@ let apply_events g events t =
         Graph.make ~n:(Graph.n g) (List.rev_append ev.add kept)
       end)
     g events
+
+let check_events_sorted events =
+  let rec scan i = function
+    | a :: (b :: _ as rest) ->
+        if a.at > b.at then
+          invalid_arg
+            (Printf.sprintf
+               "Periodic.simulate: events not sorted by at: events %d and %d \
+                have at = %d > %d"
+               i (i + 1) a.at b.at);
+        scan (i + 1) rest
+    | _ -> ()
+  in
+  scan 0 events
 
 (* Build u's view graph from its cache (OR rule over advertised lists,
    own adjacency always fresh), renumbered; returns tree edges in
@@ -70,13 +93,16 @@ let recompute_tree ~tree_of g cache u =
   in
   List.map (fun (p, c) -> canonical (vs.(p), vs.(c))) by_depth
 
-let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
+let simulate ?trace ?faults ?expiry ~initial ~events ~period ~radius ~horizon
+    ~tree_of () =
   if period < 1 || radius < 1 then invalid_arg "Periodic.simulate: period, radius >= 1";
+  let expiry = match expiry with Some e -> e | None -> 2 * period in
+  if expiry < 1 then invalid_arg "Periodic.simulate: expiry >= 1";
+  check_events_sorted events;
   Obs.with_span "periodic/simulate" @@ fun () ->
   let tracing = trace <> None in
   let emit fields = Option.iter (fun sink -> Trace.emit sink fields) trace in
   let n = Graph.n initial in
-  let expiry = 2 * period in
   let caches = Array.init n (fun _ -> (Hashtbl.create 16 : (int, entry) Hashtbl.t)) in
   let trees = Array.make n [] in
   let dirty = Array.make n true in
@@ -86,6 +112,49 @@ let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
   let messages = ref 0 in
   let matched = Array.make horizon false in
   let g = ref initial in
+  (* fault machinery; inert when [faults] is absent *)
+  let fstate = Option.map Fault.start faults in
+  let up = Array.make n true in
+  let lost = ref 0 in
+  (* delayed advertisement copies: delivery round -> (dst, msg), reversed *)
+  let pending : (int, (int * msg) list) Hashtbl.t = Hashtbl.create 16 in
+  let schedule at entry =
+    Hashtbl.replace pending at
+      (entry :: Option.value ~default:[] (Hashtbl.find_opt pending at))
+  in
+  let trace_drop t u v reason =
+    incr lost;
+    if tracing then
+      emit
+        [ ("ev", Json.String "drop"); ("round", Json.Int t); ("from", Json.Int u);
+          ("to", Json.Int v); ("reason", Json.String reason) ]
+  in
+  let sync_liveness t =
+    Option.iter
+      (fun fs ->
+        for u = 0 to n - 1 do
+          let alive = Fault.node_up fs ~round:t u in
+          if alive <> up.(u) then begin
+            up.(u) <- alive;
+            if alive then begin
+              Obs.incr c_recoveries;
+              (* recovered nodes rebuild from whatever survives expiry *)
+              dirty.(u) <- true;
+              if tracing then
+                emit [ ("ev", Json.String "recover"); ("round", Json.Int t);
+                       ("node", Json.Int u) ]
+            end
+            else begin
+              Obs.incr c_crashes;
+              outboxes.(u) <- [];
+              if tracing then
+                emit [ ("ev", Json.String "crash"); ("round", Json.Int t);
+                       ("node", Json.Int u) ]
+            end
+          end
+        done)
+      fstate
+  in
   let target_cache = Hashtbl.create 4 in
   let target g =
     (* memoize per distinct graph (few event epochs) *)
@@ -107,6 +176,7 @@ let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
   in
   for t = 0 to horizon - 1 do
     if tracing then emit [ ("ev", Json.String "round_start"); ("round", Json.Int t) ];
+    sync_liveness t;
     let messages_before = !messages in
     (* 1. topology events *)
     g := apply_events !g events t;
@@ -116,41 +186,93 @@ let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
       dirty.(u) <- true
     done;
     (* 2. deliver messages sent last round (edges evaluated now) *)
-    Array.iteri
-      (fun u msgs ->
+    (match fstate with
+    | None ->
+        Array.iteri
+          (fun u msgs ->
+            List.iter
+              (fun m ->
+                Array.iter
+                  (fun v ->
+                    incr messages;
+                    inboxes.(v) <- m :: inboxes.(v))
+                  (Graph.neighbors gt u))
+              msgs)
+          outboxes
+    | Some fs ->
+        (* delayed copies first, re-checking the receiver now *)
+        (match Hashtbl.find_opt pending t with
+        | None -> ()
+        | Some entries ->
+            Hashtbl.remove pending t;
+            List.iter
+              (fun (v, m) ->
+                if up.(v) then begin
+                  incr messages;
+                  inboxes.(v) <- m :: inboxes.(v)
+                end
+                else trace_drop t m.origin v "crash")
+              (List.rev entries));
+        Array.iteri
+          (fun u msgs ->
+            List.iter
+              (fun m ->
+                Array.iter
+                  (fun v ->
+                    if not up.(u) then trace_drop t u v "crash"
+                    else if not up.(v) then trace_drop t u v "crash"
+                    else if not (Fault.link_up fs ~round:t u v) then
+                      trace_drop t u v "link"
+                    else
+                      match Fault.transmit fs ~round:t with
+                      | Fault.Dropped -> trace_drop t u v "loss"
+                      | Fault.Deliver delays ->
+                          if List.length delays > 1 then begin
+                            if tracing then
+                              emit
+                                [ ("ev", Json.String "dup"); ("round", Json.Int t);
+                                  ("from", Json.Int u); ("to", Json.Int v) ]
+                          end;
+                          List.iter
+                            (fun d ->
+                              if d = 0 then begin
+                                incr messages;
+                                inboxes.(v) <- m :: inboxes.(v)
+                              end
+                              else schedule (t + d) (v, m))
+                            delays)
+                  (Graph.neighbors gt u))
+              msgs)
+          outboxes);
+    Array.fill outboxes 0 n [];
+    (* 3. process inboxes: cache updates + forwarding; advertisement
+       dedup is by (origin, seq), so duplicated and reordered copies
+       are absorbed here: a copy that is not strictly fresher than the
+       cached entry is neither stored nor forwarded *)
+    for u = 0 to n - 1 do
+      if up.(u) then
         List.iter
           (fun m ->
-            Array.iter
-              (fun v ->
-                incr messages;
-                inboxes.(v) <- m :: inboxes.(v))
-              (Graph.neighbors gt u))
-          msgs)
-      outboxes;
-    Array.fill outboxes 0 n [];
-    (* 3. process inboxes: cache updates + forwarding *)
-    for u = 0 to n - 1 do
-      List.iter
-        (fun m ->
-          if m.origin <> u then begin
-            let fresher =
-              match Hashtbl.find_opt caches.(u) m.origin with
-              | Some e -> m.mseq > e.seq
-              | None -> true
-            in
-            if fresher then begin
-              Hashtbl.replace caches.(u) m.origin
-                { seq = m.mseq; nbrs = m.mnbrs; heard_at = t };
-              dirty.(u) <- true;
-              if m.ttl > 1 then outboxes.(u) <- { m with ttl = m.ttl - 1 } :: outboxes.(u)
-            end
-          end)
-        inboxes.(u);
+            if m.origin <> u then begin
+              let fresher =
+                match Hashtbl.find_opt caches.(u) m.origin with
+                | Some e -> m.mseq > e.seq
+                | None -> true
+              in
+              if fresher then begin
+                Hashtbl.replace caches.(u) m.origin
+                  { seq = m.mseq; nbrs = m.mnbrs; heard_at = t };
+                dirty.(u) <- true;
+                if m.ttl > 1 then outboxes.(u) <- { m with ttl = m.ttl - 1 } :: outboxes.(u)
+              end
+            end)
+          inboxes.(u);
       inboxes.(u) <- []
     done;
-    (* 4. periodic origination *)
+    (* 4. periodic origination (crashed nodes stay silent — their
+       cached advertisements at peers age out below) *)
     for u = 0 to n - 1 do
-      if t mod period = u mod period then begin
+      if up.(u) && t mod period = u mod period then begin
         seqs.(u) <- seqs.(u) + 1;
         Obs.incr c_originations;
         if tracing then
@@ -168,43 +290,46 @@ let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
     done;
     (* 5. soft-state expiry *)
     for u = 0 to n - 1 do
-      let stale =
-        Hashtbl.fold
-          (fun origin e acc -> if t - e.heard_at > expiry then origin :: acc else acc)
-          caches.(u) []
-      in
-      if stale <> [] then begin
-        Obs.add c_expirations (List.length stale);
-        if tracing then
-          List.iter
-            (fun origin ->
-              emit
-                [
-                  ("ev", Json.String "expire");
-                  ("round", Json.Int t);
-                  ("node", Json.Int u);
-                  ("origin", Json.Int origin);
-                ])
-            stale;
-        List.iter (Hashtbl.remove caches.(u)) stale;
-        dirty.(u) <- true
+      if up.(u) then begin
+        let stale =
+          Hashtbl.fold
+            (fun origin e acc -> if t - e.heard_at > expiry then origin :: acc else acc)
+            caches.(u) []
+        in
+        if stale <> [] then begin
+          Obs.add c_expirations (List.length stale);
+          if tracing then
+            List.iter
+              (fun origin ->
+                emit
+                  [
+                    ("ev", Json.String "expire");
+                    ("round", Json.Int t);
+                    ("node", Json.Int u);
+                    ("origin", Json.Int origin);
+                  ])
+              stale;
+          List.iter (Hashtbl.remove caches.(u)) stale;
+          dirty.(u) <- true
+        end
       end
     done;
-    (* 6. recompute dirty trees *)
+    (* 6. recompute dirty trees (crashed nodes keep their stale tree
+       but it is excluded from the union below) *)
     for u = 0 to n - 1 do
-      if dirty.(u) then begin
+      if up.(u) && dirty.(u) then begin
         Obs.incr c_recomputes;
         trees.(u) <- recompute_tree ~tree_of gt caches.(u) u;
         dirty.(u) <- false
       end
     done;
     (* 7. observe *)
-    let union =
-      Array.fold_left
-        (fun acc es -> List.fold_left (fun acc e -> Pair_set.add e acc) acc es)
-        Pair_set.empty trees
-    in
-    matched.(t) <- Pair_set.equal union (target gt);
+    let union = ref Pair_set.empty in
+    for u = 0 to n - 1 do
+      if up.(u) then
+        union := List.fold_left (fun acc e -> Pair_set.add e acc) !union trees.(u)
+    done;
+    matched.(t) <- Pair_set.equal !union (target gt);
     if tracing then
       emit
         [
@@ -215,12 +340,28 @@ let simulate ?trace ~initial ~events ~period ~radius ~horizon ~tree_of () =
         ]
   done;
   let last_event = List.fold_left (fun acc ev -> max acc ev.at) 0 events in
+  let quiet_at =
+    match faults with
+    | None -> last_event
+    | Some p -> max last_event (Fault.quiet_at p)
+  in
   let converged_at =
     let rec scan best t =
-      if t < last_event then best
+      if t < quiet_at then best
       else if matched.(t) then scan (Some t) (t - 1)
       else best
     in
-    if horizon = 0 then None else scan None (horizon - 1)
+    if horizon = 0 || quiet_at = max_int then None else scan None (horizon - 1)
   in
-  { converged_at; matched; messages = !messages }
+  Option.iter
+    (fun t -> Obs.observe h_convergence_lag (float_of_int (t - quiet_at)))
+    converged_at;
+  { converged_at; matched; messages = !messages; lost = !lost; quiet_at }
+
+let stabilization_lag res =
+  match res.converged_at with
+  | Some t when res.quiet_at <= t -> Some (t - res.quiet_at)
+  | _ -> None
+
+let self_stabilizes res ~bound =
+  match stabilization_lag res with Some lag -> lag <= bound | None -> false

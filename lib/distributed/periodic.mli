@@ -14,17 +14,29 @@
       advertisement of its current neighbor list every [period] rounds
       (staggered start at [u mod period]);
     - advertisements flood with TTL [radius], one hop per round, and
-      are deduplicated by (origin, sequence number);
+      are deduplicated by (origin, sequence number) — duplicated or
+      reordered copies injected by a fault plan are absorbed by the
+      same rule;
     - every node caches the freshest advertisement per origin (its own
       adjacency is always current — hello messages) and recomputes its
       dominating tree from the cached view whenever the cache changes;
-    - cached entries expire after [2 * period] rounds without refresh
-      (soft state, as in OSPF/OLSR), which clears phantom edges left
-      by removals near the collection horizon.
+    - cached entries expire after [expiry] rounds without refresh
+      (soft state, as in OSPF/OLSR; default [2 * period]), which
+      clears phantom edges left by removals near the collection
+      horizon {e and} ages out the advertisements of crashed nodes.
 
-    The observable is the union of the nodes' {e current} trees,
+    The observable is the union of the {e live} nodes' current trees,
     compared each round against the centralized construction on the
-    {e current} graph. *)
+    {e current} graph.
+
+    An optional {!Fault.plan} makes the run adversarial: advertisement
+    transmissions can be dropped, duplicated or delayed, links can
+    flap and nodes can crash and recover (a crashed node is silent —
+    it neither originates, forwards, receives nor contributes its tree
+    to the union; on recovery it resumes with its crash-time cache,
+    whose stale entries age out by expiry). Faulty runs are
+    reproducible bit-for-bit from the plan seed; omitting the plan
+    leaves behaviour byte-identical to the fault-free protocol. *)
 
 open Rs_graph
 
@@ -36,14 +48,22 @@ type event = {
 
 type result = {
   converged_at : int option;
-      (** first round >= the last event after which the union matches
-          the target in every remaining round of the horizon *)
+      (** first round >= {!field-quiet_at} after which the union
+          matches the target in every remaining round of the horizon *)
   matched : bool array;  (** per-round match flag, length [horizon] *)
-  messages : int;  (** total advertisement transmissions *)
+  messages : int;  (** advertisement transmissions delivered *)
+  lost : int;  (** transmissions lost to faults (loss, link, crash) *)
+  quiet_at : int;
+      (** first round from which neither topology events nor faults
+          interfere: max of the last event's [at] and
+          [Fault.quiet_at] of the plan (0 with no faults; [max_int]
+          when faults never cease — then [converged_at] is [None]) *)
 }
 
 val simulate :
   ?trace:Rs_obs.Trace.sink ->
+  ?faults:Fault.plan ->
+  ?expiry:int ->
   initial:Graph.t ->
   events:event list ->
   period:int ->
@@ -58,11 +78,29 @@ val simulate :
     [fun g u -> Rs_core.Dom_tree_k.gdy_k g ~k:1 u]... any construction
     whose radius requirement is at most [radius]. The target each
     round is the union of [tree_of] applied to the true current graph.
-    Events must be sorted by [at]; edges must reference valid vertices
-    (removals of absent edges are ignored).
+    Events must be sorted by [at] — checked on entry, raising
+    [Invalid_argument] naming the offending indices; edges must
+    reference valid vertices (removals of absent edges are ignored).
+    [expiry] is the soft-state lifetime in rounds (default
+    [2 * period]; must be >= 1).
+
+    On convergence the stabilization lag ([converged_at - quiet_at])
+    is recorded in the [periodic/convergence_lag] histogram.
 
     [?trace] streams JSONL events to the sink: [round_start],
     [originate {round, node, seq}], [expire {round, node, origin}],
-    and [round_end {round, messages, matched}] — enough to replay the
-    protocol's convergence behaviour offline (schema in
+    [round_end {round, messages, matched}], and — under faults —
+    [drop {round, from, to, reason}], [dup {round, from, to}],
+    [crash {round, node}], [recover {round, node}] — enough to replay
+    the protocol's convergence behaviour offline (schema in
     docs/OBSERVABILITY.md). *)
+
+val stabilization_lag : result -> int option
+(** Rounds from {!field-quiet_at} to {!field-converged_at}; [None]
+    when the run never (re)converged or faults never ceased. *)
+
+val self_stabilizes : result -> bound:int -> bool
+(** The executable form of the paper's [T + 2F] claim under adversity:
+    did the union of live trees reconverge to the centralized target
+    within [bound] rounds of the moment faults and topology changes
+    ceased — and stay converged to the horizon? *)

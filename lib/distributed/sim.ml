@@ -10,6 +10,9 @@ type stats = {
   max_round_messages : int;
   max_round_payload : int;
   halted_nodes : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
 }
 
 let zero_stats =
@@ -20,6 +23,9 @@ let zero_stats =
     max_round_messages = 0;
     max_round_payload = 0;
     halted_nodes = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
   }
 
 type ('state, 'msg) protocol = {
@@ -32,8 +38,10 @@ type ('state, 'msg) protocol = {
 let c_rounds = Obs.counter "sim/rounds"
 let c_messages = Obs.counter "sim/messages"
 let h_round_messages = Obs.histogram "sim/round_messages"
+let c_crashes = Obs.counter "fault/crashes"
+let c_recoveries = Obs.counter "fault/recoveries"
 
-let run ?trace g proto ~max_rounds =
+let run ?trace ?faults g proto ~max_rounds =
   Obs.with_span "sim/run" @@ fun () ->
   let n = Graph.n g in
   let states = Array.make n None in
@@ -45,12 +53,55 @@ let run ?trace g proto ~max_rounds =
            round)
   in
   let was_halted = Array.make n false in
+  let tracing = trace <> None in
+  let emit fields = Option.iter (fun sink -> Trace.emit sink fields) trace in
   let trace_halt round u =
+    if tracing then
+      emit [ ("ev", Json.String "halt"); ("round", Json.Int round); ("node", Json.Int u) ]
+  in
+  (* fault machinery; all of it is inert when [faults] is absent *)
+  let fstate = Option.map Fault.start faults in
+  let fault_floor =
+    match faults with None -> 0 | Some p -> Fault.last_transition p
+  in
+  let up = Array.make n true in
+  let dropped = ref 0 and duplicated = ref 0 and delayed = ref 0 in
+  (* delayed in-flight copies, delivery round -> (from, to, msg) in
+     reverse insertion order *)
+  let pending : (int, (int * int * 'msg) list) Hashtbl.t = Hashtbl.create 16 in
+  let schedule at entry =
+    Hashtbl.replace pending at
+      (entry :: Option.value ~default:[] (Hashtbl.find_opt pending at))
+  in
+  let trace_drop round u v reason =
+    incr dropped;
+    if tracing then
+      emit
+        [ ("ev", Json.String "drop"); ("round", Json.Int round); ("from", Json.Int u);
+          ("to", Json.Int v); ("reason", Json.String reason) ]
+  in
+  let sync_liveness round =
     Option.iter
-      (fun sink ->
-        Trace.emit sink
-          [ ("ev", Json.String "halt"); ("round", Json.Int round); ("node", Json.Int u) ])
-      trace
+      (fun fs ->
+        for u = 0 to n - 1 do
+          let alive = Fault.node_up fs ~round u in
+          if alive <> up.(u) then begin
+            up.(u) <- alive;
+            if alive then begin
+              Obs.incr c_recoveries;
+              if tracing then
+                emit [ ("ev", Json.String "recover"); ("round", Json.Int round);
+                       ("node", Json.Int u) ]
+            end
+            else begin
+              Obs.incr c_crashes;
+              if tracing then
+                emit [ ("ev", Json.String "crash"); ("round", Json.Int round);
+                       ("node", Json.Int u) ]
+            end
+          end
+        done)
+      fstate
   in
   for u = 0 to n - 1 do
     let st, sends = proto.init u in
@@ -62,45 +113,92 @@ let run ?trace g proto ~max_rounds =
       trace_halt 0 u
     end
   done;
+  sync_liveness 0;
   let messages = ref 0 and payload = ref 0 and rounds = ref 0 in
   let max_round_messages = ref 0 and max_round_payload = ref 0 in
-  let in_flight () = Array.exists (fun o -> o <> []) outboxes in
-  let all_halted () =
-    Array.for_all (function Some st -> proto.halted st | None -> true) states
+  let in_flight () =
+    Array.exists (fun o -> o <> []) outboxes || Hashtbl.length pending > 0
   in
-  while !rounds < max_rounds && (in_flight () || not (all_halted ())) do
+  let all_halted () =
+    let done_ u = (not up.(u)) || match states.(u) with Some st -> proto.halted st | None -> true in
+    let rec scan u = u >= n || (done_ u && scan (u + 1)) in
+    scan 0
+  in
+  while
+    !rounds < max_rounds
+    && (in_flight () || not (all_halted ()) || !rounds < fault_floor)
+  do
     incr rounds;
     let round = !rounds in
-    Option.iter
-      (fun sink ->
-        Trace.emit sink [ ("ev", Json.String "round_start"); ("round", Json.Int round) ])
-      trace;
+    sync_liveness round;
+    if tracing then emit [ ("ev", Json.String "round_start"); ("round", Json.Int round) ];
     (* deliver *)
     let round_messages = ref 0 and round_payload = ref 0 in
     let inboxes = Array.make n [] in
-    Array.iteri
-      (fun u sends ->
-        List.iter
-          (fun (v, msg) ->
-            incr messages;
-            incr round_messages;
-            let size = proto.msg_size msg in
-            payload := !payload + size;
-            round_payload := !round_payload + size;
-            Option.iter
-              (fun sink ->
-                Trace.emit sink
-                  [
-                    ("ev", Json.String "send");
-                    ("round", Json.Int round);
-                    ("from", Json.Int u);
-                    ("to", Json.Int v);
-                    ("size", Json.Int size);
-                  ])
-              trace;
-            inboxes.(v) <- (u, msg) :: inboxes.(v))
-          sends)
-      outboxes;
+    let deliver u v msg =
+      incr messages;
+      incr round_messages;
+      let size = proto.msg_size msg in
+      payload := !payload + size;
+      round_payload := !round_payload + size;
+      if tracing then
+        emit
+          [
+            ("ev", Json.String "send");
+            ("round", Json.Int round);
+            ("from", Json.Int u);
+            ("to", Json.Int v);
+            ("size", Json.Int size);
+          ];
+      inboxes.(v) <- (u, msg) :: inboxes.(v)
+    in
+    (match fstate with
+    | None ->
+        Array.iteri
+          (fun u sends -> List.iter (fun (v, msg) -> deliver u v msg) sends)
+          outboxes
+    | Some fs ->
+        (* 1. delayed copies scheduled for this round, in insertion
+           order; the receiver must be up at the actual delivery round *)
+        (match Hashtbl.find_opt pending round with
+        | None -> ()
+        | Some entries ->
+            Hashtbl.remove pending round;
+            List.iter
+              (fun (u, v, msg) ->
+                if up.(v) then deliver u v msg else trace_drop round u v "crash")
+              (List.rev entries));
+        (* 2. fresh sends queued last round: the sender and receiver
+           must be up and the link must carry traffic now *)
+        Array.iteri
+          (fun u sends ->
+            List.iter
+              (fun (v, msg) ->
+                if not up.(u) then trace_drop round u v "crash"
+                else if not up.(v) then trace_drop round u v "crash"
+                else if not (Fault.link_up fs ~round u v) then
+                  trace_drop round u v "link"
+                else
+                  match Fault.transmit fs ~round with
+                  | Fault.Dropped -> trace_drop round u v "loss"
+                  | Fault.Deliver delays ->
+                      if List.length delays > 1 then begin
+                        incr duplicated;
+                        if tracing then
+                          emit
+                            [ ("ev", Json.String "dup"); ("round", Json.Int round);
+                              ("from", Json.Int u); ("to", Json.Int v) ]
+                      end;
+                      List.iter
+                        (fun d ->
+                          if d = 0 then deliver u v msg
+                          else begin
+                            incr delayed;
+                            schedule (round + d) (u, v, msg)
+                          end)
+                        delays)
+              sends)
+          outboxes);
     Array.fill outboxes 0 n [];
     Option.iter
       (fun sink ->
@@ -116,12 +214,12 @@ let run ?trace g proto ~max_rounds =
                 ])
           inboxes)
       trace;
-    (* step *)
+    (* step: crashed nodes neither process their inbox nor send *)
     for u = 0 to n - 1 do
       match states.(u) with
       | None -> ()
       | Some st ->
-          if inboxes.(u) <> [] || not (proto.halted st) then begin
+          if up.(u) && (inboxes.(u) <> [] || not (proto.halted st)) then begin
             let st', sends = proto.step u st ~inbox:inboxes.(u) in
             List.iter (check_send ~round u) sends;
             states.(u) <- Some st';
@@ -136,16 +234,14 @@ let run ?trace g proto ~max_rounds =
     Obs.incr c_rounds;
     Obs.add c_messages !round_messages;
     Obs.observe h_round_messages (float_of_int !round_messages);
-    Option.iter
-      (fun sink ->
-        Trace.emit sink
-          [
-            ("ev", Json.String "round_end");
-            ("round", Json.Int round);
-            ("messages", Json.Int !round_messages);
-            ("payload", Json.Int !round_payload);
-          ])
-      trace
+    if tracing then
+      emit
+        [
+          ("ev", Json.String "round_end");
+          ("round", Json.Int round);
+          ("messages", Json.Int !round_messages);
+          ("payload", Json.Int !round_payload);
+        ]
   done;
   let final =
     Array.map (function Some st -> st | None -> assert false) states
@@ -163,6 +259,9 @@ let run ?trace g proto ~max_rounds =
       max_round_messages = !max_round_messages;
       max_round_payload = !max_round_payload;
       halted_nodes;
+      dropped = !dropped;
+      duplicated = !duplicated;
+      delayed = !delayed;
     } )
 
 (* Flooding collection: each node starts knowing its incident edges and
@@ -175,7 +274,7 @@ type collect_state = {
   budget : int;
 }
 
-let collect_neighborhoods ?trace g ~radius =
+let collect_neighborhoods ?trace ?faults g ~radius =
   if radius < 0 then invalid_arg "Sim.collect_neighborhoods: negative radius";
   let canonical u v = if u < v then (u, v) else (v, u) in
   let proto =
@@ -216,7 +315,7 @@ let collect_neighborhoods ?trace g ~radius =
       msg_size = List.length;
     }
   in
-  let states, stats = run ?trace g proto ~max_rounds:(radius + 1) in
+  let states, stats = run ?trace ?faults g proto ~max_rounds:(radius + 1) in
   let views =
     Array.map
       (fun st ->

@@ -9,7 +9,12 @@
     A protocol is three callbacks over a user state type; messages are
     addressed to neighbor vertex ids and delivered at the start of the
     next round. The simulation stops when every node has halted or
-    [max_rounds] is reached. *)
+    [max_rounds] is reached.
+
+    An optional {!Fault.plan} subjects the run to deterministic,
+    seeded adversity — message loss, duplication, delay, link flapping
+    and node crash/recovery. Without a plan behaviour is byte-identical
+    to the fault-free simulator. *)
 
 type stats = {
   rounds : int;  (** rounds executed *)
@@ -18,6 +23,9 @@ type stats = {
   max_round_messages : int;  (** busiest round's message count *)
   max_round_payload : int;  (** busiest round's payload *)
   halted_nodes : int;  (** nodes halted when the run stopped *)
+  dropped : int;  (** transmissions lost to faults (loss, link, crash) *)
+  duplicated : int;  (** transmissions that produced a second copy *)
+  delayed : int;  (** copies delivered later than the next round *)
 }
 
 val zero_stats : stats
@@ -39,25 +47,44 @@ type ('state, 'msg) protocol = {
 
 val run :
   ?trace:Rs_obs.Trace.sink ->
+  ?faults:Fault.plan ->
   Rs_graph.Graph.t ->
   ('state, 'msg) protocol ->
   max_rounds:int ->
   'state array * stats
-(** Run to quiescence (all halted and no messages in flight) or
+(** Run to quiescence (all live nodes halted, no messages in flight —
+    {e including} copies whose delivery a fault plan delayed — and no
+    scheduled crash/recover or flap transition still ahead) or
     [max_rounds]. Sends to non-neighbors raise [Invalid_argument]
     naming the offending round — the LOCAL model only talks over
     edges; the init phase counts as round 0.
 
+    With [?faults] (see {!Fault}):
+    - every transmission may be dropped, duplicated or delayed as the
+      plan's seeded stream decides — runs are reproducible from the
+      seed;
+    - a message is lost when its sender or receiver is down or its
+      link is flapped down at the delivery round; a {e delayed} copy
+      re-checks only the receiver at its actual delivery round;
+    - crashed nodes neither step nor send; on recovery a node resumes
+      with the state it crashed with;
+    - losses/duplicates/delays are tallied in [stats] and in the
+      [fault/*] counters.
+
     With [?trace], one JSONL event per line is streamed to the sink:
     [round_start {round}], [send {round, from, to, size}] per
     delivered message, [recv {round, node, count}] per non-empty
-    inbox, [halt {round, node}] on halting transitions, and
+    inbox, [halt {round, node}] on halting transitions,
     [round_end {round, messages, payload}] whose per-round message
-    totals sum to the returned [stats.messages]. See
+    totals sum to the returned [stats.messages], and — under faults —
+    [drop {round, from, to, reason}] (reason one of ["loss"],
+    ["link"], ["crash"]), [dup {round, from, to}],
+    [crash {round, node}] and [recover {round, node}]. See
     docs/OBSERVABILITY.md for the schema. *)
 
 val collect_neighborhoods :
   ?trace:Rs_obs.Trace.sink ->
+  ?faults:Fault.plan ->
   Rs_graph.Graph.t ->
   radius:int ->
   (int * int * int) array array * stats
@@ -66,4 +93,6 @@ val collect_neighborhoods :
     radius [radius] — enough to rebuild [B_G(u, radius)] and run a
     dominating-tree computation locally. Returns, per node, the known
     edge list as (u, v, round-learned) triples, plus traffic stats.
-    [?trace] is forwarded to {!run}. *)
+    [?trace] and [?faults] are forwarded to {!run}; under faults the
+    views degrade gracefully (lost edges simply stay unknown — the
+    round budget is not extended). *)

@@ -2,6 +2,7 @@ module Graph = Rs_graph.Graph
 module Edge_set = Rs_graph.Edge_set
 module Bfs = Rs_graph.Bfs
 module Rand = Rs_graph.Rand
+module Fault = Rs_distributed.Fault
 
 type strategy = { name : string; build : Graph.t -> Edge_set.t }
 
@@ -52,7 +53,29 @@ let belief_dist ~n ~stale_adj ~current c dst =
   done;
   dist
 
-let route ~n ~stale_adj ~current src dst =
+(* [fault]/[t]: per-hop fault injection — a crashed node cannot relay
+   (its neighbors route around it, hello-level detection), a flapped
+   link carries nothing, and each hop transmission can be lost with the
+   plan's drop probability. [None] touches no random stream at all, so
+   fault-free runs are byte-identical to the pre-fault evaluator. *)
+let route ?fault ~t ~n ~stale_adj ~current src dst =
+  let usable c w =
+    match fault with
+    | None -> true
+    | Some fs -> Fault.node_up fs ~round:t w && Fault.link_up fs ~round:t c w
+  in
+  let hop_survives () =
+    match fault with
+    | None -> true
+    | Some fs -> ( match Fault.transmit fs ~round:t with
+                 | Fault.Dropped -> false
+                 | Fault.Deliver _ -> true)
+  in
+  let endpoints_up =
+    match fault with
+    | None -> true
+    | Some fs -> Fault.node_up fs ~round:t src && Fault.node_up fs ~round:t dst
+  in
   let rec forward c hops =
     if c = dst then Some hops
     else if hops > n then None (* stale loop *)
@@ -61,15 +84,17 @@ let route ~n ~stale_adj ~current src dst =
       let best = ref (-1) and best_d = ref max_int in
       Array.iter
         (fun w ->
-          if dist.(w) >= 0 && dist.(w) < !best_d then begin
+          if usable c w && dist.(w) >= 0 && dist.(w) < !best_d then begin
             best := w;
             best_d := dist.(w)
           end)
         (Graph.neighbors current c);
-      match !best with -1 -> None | w -> forward w (hops + 1)
+      match !best with
+      | -1 -> None
+      | w -> if hop_survives () then forward w (hops + 1) else None
     end
   in
-  forward src 0
+  if endpoints_up then forward src 0 else None
 
 let edge_pair_set g =
   let tbl = Hashtbl.create (2 * Graph.m g) in
@@ -101,8 +126,9 @@ let adjacency_of_pairs ~n pairs =
     pairs;
   adj
 
-let run rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
+let run ?faults rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
   if refresh < 1 || steps < 1 then invalid_arg "Churn_eval.run: steps, refresh >= 1";
+  let fault = Option.map Fault.start faults in
   let n = Waypoint.n model in
   let states =
     List.map
@@ -144,7 +170,7 @@ let run rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
         List.iter
           (fun st ->
             st.attempted <- st.attempted + 1;
-            match route ~n ~stale_adj:st.stale_adj ~current:g s d with
+            match route ?fault ~t ~n ~stale_adj:st.stale_adj ~current:g s d with
             | Some hops ->
                 st.delivered <- st.delivered + 1;
                 st.stretch_sum <- st.stretch_sum +. (float_of_int hops /. float_of_int dg)

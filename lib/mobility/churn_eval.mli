@@ -28,6 +28,7 @@ type report = {
 }
 
 val run :
+  ?faults:Rs_distributed.Fault.plan ->
   Rs_graph.Rand.t ->
   model:Waypoint.t ->
   strategies:strategy list ->
@@ -42,4 +43,15 @@ val run :
     once per step and shared across strategies — the comparison is
     paired). Greedy forwarding runs on H' = (H ∩ current edges) plus
     the forwarding node's current links; a routing loop or dead end is
-    a loss. *)
+    a loss.
+
+    [?faults] composes the E18 staleness study with link-level
+    adversity: each forwarded hop at step [t] can be lost with the
+    plan's [drop] probability (the packet is then a loss), crashed
+    nodes are detected at hello level and routed around (a crashed
+    source or destination makes the pair an automatic loss), and
+    flapped links carry nothing. The plan's stream is separate from
+    [rand], so [?faults:None] leaves reports byte-identical to the
+    fault-free evaluator and a fixed plan seed makes faulty runs fully
+    reproducible. Delay/duplication components are ignored here —
+    packet forwarding is a per-step decision, not a queued message. *)

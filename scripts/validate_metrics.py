@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
-"""Validate the shape of an Obs.to_json () metrics registry.
+"""Validate rspan observability output.
 
-Usage: validate_metrics.py FILE [FILE...]
+Usage:
+  validate_metrics.py [--require-histogram NAME]... FILE [FILE...]
+  validate_metrics.py --trace [--expect EV]... FILE [FILE...]
 
-Checks the schema documented in docs/OBSERVABILITY.md: top-level keys,
-value types, histogram structure (bucket counts sum to the histogram
-count), and that a profile run recorded at least one span, counter and
-histogram observation. Exits non-zero with a message on the first
-violation.
+Default mode checks an `Obs.to_json ()` metrics registry against the
+schema documented in docs/OBSERVABILITY.md: top-level keys, value
+types, histogram structure (bucket counts sum to the histogram count),
+and that a profile run recorded at least one span, counter and
+histogram observation. `--require-histogram NAME` additionally demands
+that histogram NAME exists and has observations.
+
+`--trace` mode instead validates a JSONL event trace (one object per
+line, discriminated by "ev") against the per-event field schemas —
+including the fault-injection events drop/dup/crash/recover.
+`--expect EV` demands at least one event of kind EV.
+
+Exits non-zero with a message on the first violation.
 """
+import argparse
 import json
 import sys
 
@@ -19,7 +30,7 @@ def fail(path, msg):
     sys.exit(f"{path}: schema violation: {msg}")
 
 
-def validate(path):
+def validate_registry(path, require_histograms=()):
     with open(path) as f:
         doc = json.load(f)
 
@@ -74,12 +85,113 @@ def validate(path):
     if not any(h["count"] > 0 for h in doc["histograms"].values()):
         fail(path, "no histogram observation recorded")
 
+    for name in require_histograms:
+        h = doc["histograms"].get(name)
+        if h is None:
+            fail(path, f"required histogram {name!r} missing")
+        if h["count"] < 1:
+            fail(path, f"required histogram {name!r} has no observations")
+
     print(f"{path}: ok ({len(doc['counters'])} counters, "
           f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans)")
 
 
+# Per-event required fields for JSONL traces (docs/OBSERVABILITY.md).
+# `int` means a non-bool integer; extra fields are allowed (round_end
+# carries payload or matched depending on the producer).
+TRACE_SCHEMAS = {
+    "round_start": {"round": int},
+    "send": {"round": int, "from": int, "to": int, "size": int},
+    "recv": {"round": int, "node": int, "count": int},
+    "halt": {"round": int, "node": int},
+    "round_end": {"round": int, "messages": int},
+    "originate": {"round": int, "node": int, "seq": int},
+    "expire": {"round": int, "node": int, "origin": int},
+    "drop": {"round": int, "from": int, "to": int, "reason": str},
+    "dup": {"round": int, "from": int, "to": int},
+    "crash": {"round": int, "node": int},
+    "recover": {"round": int, "node": int},
+    "route_start": {"src": int, "dst": int, "shortest": int},
+    "hop": {"step": int, "node": int},
+    "route_end": {"delivered": bool},
+}
+
+DROP_REASONS = {"loss", "link", "crash"}
+
+
+def check_field(value, typ):
+    if typ is int:
+        return type(value) is int
+    if typ is bool:
+        return type(value) is bool
+    return isinstance(value, typ)
+
+
+def validate_trace(path, expect=()):
+    seen = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(path, f"line {lineno}: not JSON: {e}")
+            if not isinstance(ev, dict):
+                fail(path, f"line {lineno}: event is not an object")
+            kind = ev.get("ev")
+            if not isinstance(kind, str):
+                fail(path, f"line {lineno}: missing \"ev\" discriminator")
+            schema = TRACE_SCHEMAS.get(kind)
+            if schema is None:
+                fail(path, f"line {lineno}: unknown event kind {kind!r}")
+            for field, typ in schema.items():
+                if field not in ev:
+                    fail(path, f"line {lineno}: {kind} event missing {field!r}")
+                if not check_field(ev[field], typ):
+                    fail(path, f"line {lineno}: {kind} field {field!r} "
+                                f"has bad type: {ev[field]!r}")
+            if kind == "drop" and ev["reason"] not in DROP_REASONS:
+                fail(path, f"line {lineno}: drop reason {ev['reason']!r} "
+                            f"not in {sorted(DROP_REASONS)}")
+            seen[kind] = seen.get(kind, 0) + 1
+
+    if not seen:
+        fail(path, "empty trace")
+    for kind in expect:
+        if kind not in seen:
+            fail(path, f"expected at least one {kind!r} event, saw none "
+                        f"(kinds present: {sorted(seen)})")
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(seen.items()))
+    print(f"{path}: ok ({sum(seen.values())} events: {summary})")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate rspan metrics registries or JSONL traces.")
+    ap.add_argument("--trace", action="store_true",
+                    help="treat FILEs as JSONL event traces")
+    ap.add_argument("--expect", action="append", default=[], metavar="EV",
+                    choices=sorted(TRACE_SCHEMAS),
+                    help="(trace mode) require at least one EV event")
+    ap.add_argument("--require-histogram", action="append", default=[],
+                    metavar="NAME",
+                    help="(registry mode) require histogram NAME to exist "
+                         "with observations")
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    args = ap.parse_args()
+    if args.expect and not args.trace:
+        ap.error("--expect only applies to --trace mode")
+    if args.require_histogram and args.trace:
+        ap.error("--require-histogram only applies to registry mode")
+    for p in args.files:
+        if args.trace:
+            validate_trace(p, expect=args.expect)
+        else:
+            validate_registry(p, require_histograms=args.require_histogram)
+
+
 if __name__ == "__main__":
-    if len(sys.argv) < 2:
-        sys.exit(__doc__.strip())
-    for p in sys.argv[1:]:
-        validate(p)
+    main()

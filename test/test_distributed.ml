@@ -200,6 +200,282 @@ let test_rounds_independent_of_n () =
   check_int "n=10" (rounds 10) (rounds 50);
   check_int "n=50" (rounds 50) (rounds 200)
 
+(* ---------------------------------------------------------------- *)
+(* Fault injection *)
+
+module Fault = Rs_distributed.Fault
+
+(* Reference copy of the pre-fault simulator (same pattern as
+   test_hotpath): the [?faults:None] path of Sim.run must return
+   exactly what this returns — states and every pre-fault stats
+   field. *)
+let ref_run g proto ~max_rounds =
+  let n = Graph.n g in
+  let states = Array.make n None in
+  let outboxes = Array.make n [] in
+  for u = 0 to n - 1 do
+    let st, sends = proto.Sim.init u in
+    states.(u) <- Some st;
+    outboxes.(u) <- sends
+  done;
+  let messages = ref 0 and payload = ref 0 and rounds = ref 0 in
+  let max_round_messages = ref 0 and max_round_payload = ref 0 in
+  let in_flight () = Array.exists (fun o -> o <> []) outboxes in
+  let all_halted () =
+    Array.for_all (function Some st -> proto.Sim.halted st | None -> true) states
+  in
+  while !rounds < max_rounds && (in_flight () || not (all_halted ())) do
+    incr rounds;
+    let round_messages = ref 0 and round_payload = ref 0 in
+    let inboxes = Array.make n [] in
+    Array.iteri
+      (fun u sends ->
+        List.iter
+          (fun (v, msg) ->
+            incr messages;
+            incr round_messages;
+            let size = proto.Sim.msg_size msg in
+            payload := !payload + size;
+            round_payload := !round_payload + size;
+            inboxes.(v) <- (u, msg) :: inboxes.(v))
+          sends)
+      outboxes;
+    Array.fill outboxes 0 n [];
+    for u = 0 to n - 1 do
+      match states.(u) with
+      | None -> ()
+      | Some st ->
+          if inboxes.(u) <> [] || not (proto.Sim.halted st) then begin
+            let st', sends = proto.Sim.step u st ~inbox:inboxes.(u) in
+            states.(u) <- Some st';
+            outboxes.(u) <- sends
+          end
+    done;
+    max_round_messages := max !max_round_messages !round_messages;
+    max_round_payload := max !max_round_payload !round_payload
+  done;
+  let final = Array.map (function Some st -> st | None -> assert false) states in
+  let halted_nodes =
+    Array.fold_left (fun acc st -> if proto.Sim.halted st then acc + 1 else acc) 0 final
+  in
+  ( final,
+    (!rounds, !messages, !payload, !max_round_messages, !max_round_payload, halted_nodes) )
+
+type ref_collect_state = {
+  rc_known : (int * int, int) Hashtbl.t;
+  mutable rc_round : int;
+  rc_budget : int;
+}
+
+let ref_collect g ~radius =
+  let canonical u v = if u < v then (u, v) else (v, u) in
+  let proto =
+    {
+      Sim.init =
+        (fun u ->
+          let known = Hashtbl.create 64 in
+          Array.iter
+            (fun v -> Hashtbl.replace known (canonical u v) 0)
+            (Graph.neighbors g u);
+          let st = { rc_known = known; rc_round = 0; rc_budget = radius } in
+          let batch = Hashtbl.fold (fun e _ acc -> e :: acc) known [] in
+          let sends =
+            if radius = 0 then []
+            else Array.to_list (Array.map (fun v -> (v, batch)) (Graph.neighbors g u))
+          in
+          (st, sends));
+      step =
+        (fun u st ~inbox ->
+          st.rc_round <- st.rc_round + 1;
+          let fresh = ref [] in
+          List.iter
+            (fun (_, batch) ->
+              List.iter
+                (fun e ->
+                  if not (Hashtbl.mem st.rc_known e) then begin
+                    Hashtbl.replace st.rc_known e st.rc_round;
+                    fresh := e :: !fresh
+                  end)
+                batch)
+            inbox;
+          let sends =
+            if st.rc_round >= st.rc_budget || !fresh = [] then []
+            else Array.to_list (Array.map (fun v -> (v, !fresh)) (Graph.neighbors g u))
+          in
+          (st, sends));
+      halted = (fun st -> st.rc_round >= st.rc_budget);
+      msg_size = List.length;
+    }
+  in
+  let states, stats = ref_run g proto ~max_rounds:(radius + 1) in
+  let views =
+    Array.map
+      (fun st ->
+        Hashtbl.fold (fun (a, b) r acc -> (a, b, r) :: acc) st.rc_known []
+        |> List.sort compare |> Array.of_list)
+      states
+  in
+  (views, stats)
+
+let fault_test_graphs () =
+  [
+    ("cycle11", Gen.cycle 11);
+    ("grid4x5", Gen.grid 4 5);
+    ("gnp24", Gen.erdos_renyi (Rand.create 91) 24 0.15);
+    ("conn20", Gen.random_connected (Rand.create 93) 20 0.12);
+  ]
+
+let test_no_faults_byte_identical () =
+  List.iter
+    (fun (name, g) ->
+      let views, stats = Sim.collect_neighborhoods g ~radius:2 in
+      let ref_views, (rounds, messages, payload, mrm, mrp, halted) =
+        ref_collect g ~radius:2
+      in
+      check (name ^ " views identical") true (views = ref_views);
+      check_int (name ^ " rounds") rounds stats.Sim.rounds;
+      check_int (name ^ " messages") messages stats.Sim.messages;
+      check_int (name ^ " payload") payload stats.Sim.payload;
+      check_int (name ^ " max_round_messages") mrm stats.Sim.max_round_messages;
+      check_int (name ^ " max_round_payload") mrp stats.Sim.max_round_payload;
+      check_int (name ^ " halted") halted stats.Sim.halted_nodes;
+      check_int (name ^ " no drops") 0 stats.Sim.dropped;
+      check_int (name ^ " no dups") 0 stats.Sim.duplicated;
+      check_int (name ^ " no delays") 0 stats.Sim.delayed;
+      (* same for a hand-written protocol *)
+      let s1, _ = Sim.run g (hello_protocol g) ~max_rounds:5 in
+      let s2, _ = ref_run g (hello_protocol g) ~max_rounds:5 in
+      check (name ^ " hello states identical") true (s1 = s2))
+    (fault_test_graphs ())
+
+let test_fault_seed_reproducible () =
+  let g = Gen.grid 4 5 in
+  let plan () = Fault.make ~drop:0.3 ~dup:0.2 ~delay:1 ~jitter:1 ~seed:5 () in
+  let r1 = Sim.collect_neighborhoods ~faults:(plan ()) g ~radius:2 in
+  let r2 = Sim.collect_neighborhoods ~faults:(plan ()) g ~radius:2 in
+  check "same seed, same run" true (r1 = r2);
+  let r3 =
+    Sim.collect_neighborhoods
+      ~faults:(Fault.make ~drop:0.3 ~dup:0.2 ~delay:1 ~jitter:1 ~seed:6 ())
+      g ~radius:2
+  in
+  check "different seed differs" true (r1 <> r3)
+
+let test_drop_all_isolates () =
+  let g = Gen.grid 4 4 in
+  let views, stats =
+    Sim.collect_neighborhoods ~faults:(Fault.make ~drop:1.0 ~seed:1 ()) g ~radius:2
+  in
+  check_int "nothing delivered" 0 stats.Sim.messages;
+  check "drops counted" true (stats.Sim.dropped > 0);
+  Array.iteri
+    (fun u view ->
+      check_int (Printf.sprintf "node %d keeps only its own edges" u)
+        (Graph.degree g u) (Array.length view))
+    views
+
+let test_delay_defers_but_delivers () =
+  let g = Gen.cycle 8 in
+  let states, stats =
+    Sim.run ~faults:(Fault.make ~delay:2 ~seed:3 ()) g (hello_protocol g) ~max_rounds:10
+  in
+  (* every transmission arrives two rounds late; quiescence must wait
+     for the in-flight copies instead of stopping at round 1 *)
+  check_int "delivery at round 3" 3 stats.Sim.rounds;
+  check_int "all delivered" (2 * Graph.m g) stats.Sim.messages;
+  check_int "all delayed" (2 * Graph.m g) stats.Sim.delayed;
+  check_int "none dropped" 0 stats.Sim.dropped;
+  Array.iteri
+    (fun u heard ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d heard everyone" u)
+        (Array.to_list (Graph.neighbors g u))
+        (List.sort compare heard))
+    states
+
+let test_dup_doubles_delivery () =
+  let g = Gen.cycle 6 in
+  let states, stats =
+    Sim.run ~faults:(Fault.make ~dup:1.0 ~seed:4 ()) g (hello_protocol g) ~max_rounds:5
+  in
+  check_int "every transmission doubled" (4 * Graph.m g) stats.Sim.messages;
+  check_int "dups counted" (2 * Graph.m g) stats.Sim.duplicated;
+  Array.iteri
+    (fun u heard ->
+      let nbrs = Array.to_list (Graph.neighbors g u) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d heard everyone twice" u)
+        (List.sort compare (nbrs @ nbrs))
+        (List.sort compare heard))
+    states
+
+let test_crash_silences_node () =
+  let g = Gen.cycle 6 in
+  let faults =
+    Fault.make ~crashes:[ { Fault.node = 0; at = 0; recover = None } ] ~seed:1 ()
+  in
+  let states, stats = Sim.run ~faults g (hello_protocol g) ~max_rounds:5 in
+  (* node 0's two sends and its neighbors' two sends to it are lost *)
+  check_int "delivered" ((2 * Graph.m g) - 4) stats.Sim.messages;
+  check_int "dropped" 4 stats.Sim.dropped;
+  check "crashed node heard nothing" true (states.(0) = []);
+  Alcotest.(check (list int)) "neighbor 1 heard only 2" [ 2 ] (List.sort compare states.(1));
+  Alcotest.(check (list int)) "neighbor 5 heard only 4" [ 4 ] (List.sort compare states.(5))
+
+let test_flap_blocks_link () =
+  let g = Gen.path_graph 3 in
+  (* link 0-1 is down exactly at round 1, the only delivery round *)
+  let faults =
+    Fault.make ~flaps:[ { Fault.u = 0; v = 1; down = 1; up = 2 } ] ~seed:1 ()
+  in
+  let states, stats = Sim.run ~faults g (hello_protocol g) ~max_rounds:5 in
+  check_int "two transmissions lost on the flapped link" 2 stats.Sim.dropped;
+  check_int "the 1-2 link still carries" 2 stats.Sim.messages;
+  check "0 heard nothing" true (states.(0) = []);
+  Alcotest.(check (list int)) "1 heard only 2" [ 2 ] (List.sort compare states.(1));
+  Alcotest.(check (list int)) "2 heard 1" [ 1 ] (List.sort compare states.(2))
+
+let test_crash_recover_trace_events () =
+  let g = Gen.cycle 4 in
+  let chatty =
+    {
+      Sim.init = (fun u -> ((), [ ((u + 1) mod 4, ()) ]));
+      step = (fun u () ~inbox:_ -> ((), [ ((u + 1) mod 4, ()) ]));
+      halted = (fun _ -> false);
+      msg_size = (fun _ -> 1);
+    }
+  in
+  let faults =
+    Fault.make ~crashes:[ { Fault.node = 0; at = 2; recover = Some 4 } ] ~seed:1 ()
+  in
+  let buf = Buffer.create 4096 in
+  let sink = Trace.to_buffer buf in
+  let _ = Sim.run ~trace:sink ~faults g chatty ~max_rounds:6 in
+  Trace.close sink;
+  let events =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Json.parse l with
+           | Ok j -> j
+           | Error e -> Alcotest.fail ("unparseable trace line: " ^ e))
+  in
+  let kind j = match Json.member "ev" j with Some (Json.String s) -> s | _ -> "?" in
+  let int_field name j = match Json.member name j with Some (Json.Int i) -> i | _ -> -1 in
+  let find ev =
+    List.filter (fun j -> kind j = ev) events
+    |> List.map (fun j -> (int_field "round" j, int_field "node" j))
+  in
+  check "crash event at round 2" true (List.mem (2, 0) (find "crash"));
+  check "recover event at round 4" true (List.mem (4, 0) (find "recover"));
+  check "drop events carry a reason" true
+    (List.for_all
+       (fun j ->
+         match Json.member "reason" j with
+         | Some (Json.String ("loss" | "link" | "crash")) -> true
+         | _ -> false)
+       (List.filter (fun j -> kind j = "drop") events))
+
 let () =
   Alcotest.run "distributed"
     [
@@ -220,5 +496,16 @@ let () =
           Alcotest.test_case "large radius = whole graph" `Quick test_collect_whole_graph_when_radius_large;
           Alcotest.test_case "traffic grows with radius" `Quick test_collect_stats_scale_with_radius;
           Alcotest.test_case "rounds independent of n" `Quick test_rounds_independent_of_n;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "no faults = byte-identical" `Quick test_no_faults_byte_identical;
+          Alcotest.test_case "seed reproducible" `Quick test_fault_seed_reproducible;
+          Alcotest.test_case "drop=1 isolates" `Quick test_drop_all_isolates;
+          Alcotest.test_case "delay defers but delivers" `Quick test_delay_defers_but_delivers;
+          Alcotest.test_case "dup doubles delivery" `Quick test_dup_doubles_delivery;
+          Alcotest.test_case "crash silences a node" `Quick test_crash_silences_node;
+          Alcotest.test_case "flap blocks a link" `Quick test_flap_blocks_link;
+          Alcotest.test_case "crash/recover traced" `Quick test_crash_recover_trace_events;
         ] );
     ]

@@ -1,0 +1,172 @@
+(* Tests for the fault-injection plan/state machinery. *)
+module Fault = Rs_distributed.Fault
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make_validates () =
+  let bad f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check "drop > 1" true (bad (fun () -> Fault.make ~drop:1.5 ~seed:1 ()));
+  check "negative dup" true (bad (fun () -> Fault.make ~dup:(-0.1) ~seed:1 ()));
+  check "negative delay" true (bad (fun () -> Fault.make ~delay:(-1) ~seed:1 ()));
+  check "empty crash interval" true
+    (bad (fun () ->
+         Fault.make ~crashes:[ { Fault.node = 0; at = 5; recover = Some 5 } ] ~seed:1 ()));
+  check "empty flap interval" true
+    (bad (fun () -> Fault.make ~flaps:[ { Fault.u = 0; v = 1; down = 3; up = 3 } ] ~seed:1 ()));
+  check "valid plan" true
+    (match Fault.make ~drop:0.5 ~delay:1 ~jitter:2 ~dup:0.1 ~seed:1 () with
+    | _ -> true
+    | exception _ -> false)
+
+let test_is_none () =
+  check "none is none" true (Fault.is_none Fault.none);
+  check "make default is none" true (Fault.is_none (Fault.make ~seed:7 ()));
+  check "drop is not none" false (Fault.is_none (Fault.make ~drop:0.1 ~seed:7 ()));
+  check "crash is not none" false
+    (Fault.is_none
+       (Fault.make ~crashes:[ { Fault.node = 0; at = 0; recover = None } ] ~seed:7 ()))
+
+let test_quiet_at () =
+  check_int "empty plan" 0 (Fault.quiet_at Fault.none);
+  check_int "bounded loss" 10 (Fault.quiet_at (Fault.make ~drop:0.2 ~until:10 ~seed:1 ()));
+  check_int "unbounded loss never quiet" max_int
+    (Fault.quiet_at (Fault.make ~drop:0.2 ~seed:1 ()));
+  check_int "crash recover dominates" 25
+    (Fault.quiet_at
+       (Fault.make ~drop:0.2 ~until:10
+          ~crashes:[ { Fault.node = 3; at = 5; recover = Some 25 } ]
+          ~seed:1 ()));
+  check_int "unrecovered crash never quiet" max_int
+    (Fault.quiet_at
+       (Fault.make ~crashes:[ { Fault.node = 3; at = 5; recover = None } ] ~seed:1 ()));
+  check_int "flap up" 15
+    (Fault.quiet_at (Fault.make ~flaps:[ { Fault.u = 0; v = 1; down = 5; up = 15 } ] ~seed:1 ()))
+
+let test_last_transition () =
+  check_int "empty" 0 (Fault.last_transition Fault.none);
+  check_int "unbounded loss ignored" 0
+    (Fault.last_transition (Fault.make ~drop:0.5 ~seed:1 ()));
+  check_int "unrecovered crash is its at" 5
+    (Fault.last_transition
+       (Fault.make ~crashes:[ { Fault.node = 0; at = 5; recover = None } ] ~seed:1 ()));
+  check_int "recovery dominates" 30
+    (Fault.last_transition
+       (Fault.make
+          ~crashes:[ { Fault.node = 0; at = 5; recover = Some 30 } ]
+          ~flaps:[ { Fault.u = 0; v = 1; down = 2; up = 9 } ]
+          ~seed:1 ()))
+
+let test_schedules_respected () =
+  let plan =
+    Fault.make
+      ~crashes:[ { Fault.node = 2; at = 10; recover = Some 20 } ]
+      ~flaps:[ { Fault.u = 4; v = 1; down = 3; up = 7 } ]
+      ~seed:1 ()
+  in
+  let st = Fault.start plan in
+  check "up before crash" true (Fault.node_up st ~round:9 2);
+  check "down at crash" false (Fault.node_up st ~round:10 2);
+  check "down just before recover" false (Fault.node_up st ~round:19 2);
+  check "up at recover" true (Fault.node_up st ~round:20 2);
+  check "other nodes unaffected" true (Fault.node_up st ~round:15 3);
+  check "link up before flap" true (Fault.link_up st ~round:2 1 4);
+  check "link down during flap (either direction)" false (Fault.link_up st ~round:5 1 4);
+  check "link down during flap (other direction)" false (Fault.link_up st ~round:5 4 1);
+  check "link back up" true (Fault.link_up st ~round:7 4 1);
+  check "other links unaffected" true (Fault.link_up st ~round:5 0 3)
+
+let outcomes plan rounds =
+  let st = Fault.start plan in
+  List.init rounds (fun r -> Fault.transmit st ~round:r)
+
+let test_transmit_deterministic () =
+  let plan = Fault.make ~drop:0.4 ~dup:0.3 ~delay:1 ~jitter:2 ~seed:42 () in
+  check "same seed, same outcomes" true (outcomes plan 200 = outcomes plan 200);
+  let other = Fault.make ~drop:0.4 ~dup:0.3 ~delay:1 ~jitter:2 ~seed:43 () in
+  check "different seed differs" true (outcomes plan 200 <> outcomes other 200)
+
+let test_transmit_extremes () =
+  let all_drop = outcomes (Fault.make ~drop:1.0 ~seed:1 ()) 50 in
+  check "drop=1 drops everything" true
+    (List.for_all (fun o -> o = Fault.Dropped) all_drop);
+  let all_dup = outcomes (Fault.make ~dup:1.0 ~seed:1 ()) 50 in
+  check "dup=1 duplicates everything" true
+    (List.for_all (function Fault.Deliver [ 0; 0 ] -> true | _ -> false) all_dup);
+  let fixed_delay = outcomes (Fault.make ~delay:3 ~seed:1 ()) 50 in
+  check "fixed delay" true
+    (List.for_all (function Fault.Deliver [ 3 ] -> true | _ -> false) fixed_delay);
+  let jittered = outcomes (Fault.make ~delay:1 ~jitter:2 ~seed:1 ()) 200 in
+  check "jitter within [delay, delay+jitter]" true
+    (List.for_all
+       (function Fault.Deliver [ d ] -> d >= 1 && d <= 3 | _ -> false)
+       jittered);
+  check "jitter actually varies" true
+    (List.exists (fun o -> o = Fault.Deliver [ 1 ]) jittered
+    && List.exists (fun o -> o = Fault.Deliver [ 3 ]) jittered)
+
+let test_transmit_until_window () =
+  let plan = Fault.make ~drop:1.0 ~until:5 ~seed:1 () in
+  let st = Fault.start plan in
+  check "dropped inside the window" true (Fault.transmit st ~round:4 = Fault.Dropped);
+  check "clean outside the window" true (Fault.transmit st ~round:5 = Fault.Deliver [ 0 ]);
+  check "still clean later" true (Fault.transmit st ~round:100 = Fault.Deliver [ 0 ])
+
+let test_drop_rate_plausible () =
+  let st = Fault.start (Fault.make ~drop:0.3 ~seed:9 ()) in
+  let drops = ref 0 in
+  for r = 0 to 9999 do
+    if Fault.transmit st ~round:r = Fault.Dropped then incr drops
+  done;
+  (* 10k draws at p = 0.3: well inside +-5 points *)
+  check "rate near 0.3" true (!drops > 2500 && !drops < 3500)
+
+let test_parse_schedule () =
+  let crashes, flaps =
+    Fault.parse_schedule
+      "# header comment\n\ncrash 3 10 25\ncrash 7 40   # forever\nflap 0 1 5 15\n"
+  in
+  check "two crashes" true
+    (crashes
+    = [ { Fault.node = 3; at = 10; recover = Some 25 };
+        { Fault.node = 7; at = 40; recover = None } ]);
+  check "one flap" true (flaps = [ { Fault.u = 0; v = 1; down = 5; up = 15 } ]);
+  let bad text =
+    match Fault.parse_schedule text with
+    | _ -> None
+    | exception Failure msg -> Some msg
+  in
+  (match bad "crash 3" with
+  | Some msg ->
+      check "bad arity names the line" true
+        (String.length msg > 0
+        &&
+        let sub = "line 1" in
+        let n = String.length msg and k = String.length sub in
+        let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+        scan 0)
+  | None -> Alcotest.fail "bad crash line accepted");
+  check "unknown directive rejected" true (bad "crush 1 2 3" <> None);
+  check "non-integer rejected" true (bad "crash x 2" <> None)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "is_none" `Quick test_is_none;
+          Alcotest.test_case "quiet_at" `Quick test_quiet_at;
+          Alcotest.test_case "last_transition" `Quick test_last_transition;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "schedules respected" `Quick test_schedules_respected;
+          Alcotest.test_case "transmit deterministic" `Quick test_transmit_deterministic;
+          Alcotest.test_case "transmit extremes" `Quick test_transmit_extremes;
+          Alcotest.test_case "until window" `Quick test_transmit_until_window;
+          Alcotest.test_case "drop rate plausible" `Quick test_drop_rate_plausible;
+        ] );
+      ( "schedule-files",
+        [ Alcotest.test_case "parse" `Quick test_parse_schedule ] );
+    ]

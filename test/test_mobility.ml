@@ -138,6 +138,55 @@ let test_spanner_advertises_less () =
   check "spanner lighter than full" true
     ((find "(1,0)-RS").Churn_eval.mean_advertised < (find "full").Churn_eval.mean_advertised)
 
+let test_churn_deterministic () =
+  (* satellite: same Rand seed (and same freshly-built model) must give
+     identical report lists, with and without a fault plan *)
+  let run ?faults rand_seed =
+    let m = model 191 30 in
+    Churn_eval.run ?faults (Rand.create rand_seed) ~model:m ~strategies ~steps:15
+      ~refresh:5 ~pairs_per_step:4
+  in
+  check "same seed, same reports" true (run 7 = run 7);
+  check "different seed differs" true (run 7 <> run 8);
+  let faults () = Rs_distributed.Fault.make ~drop:0.3 ~seed:5 () in
+  check "faulty run reproducible" true
+    (run ~faults:(faults ()) 7 = run ~faults:(faults ()) 7);
+  (* an engaged plan must actually change the outcome *)
+  check "faults change the outcome" true (run ~faults:(faults ()) 7 <> run 7);
+  (* a plan with nothing engaged draws nothing: reports identical to
+     the fault-free evaluator *)
+  check "empty plan = no plan" true
+    (run ~faults:(Rs_distributed.Fault.make ~seed:5 ()) 7 = run 7)
+
+let test_churn_total_loss () =
+  let m = model 193 30 in
+  let reports =
+    Churn_eval.run
+      ~faults:(Rs_distributed.Fault.make ~drop:1.0 ~seed:3 ())
+      (Rand.create 195) ~model:m ~strategies ~steps:10 ~refresh:5 ~pairs_per_step:4
+  in
+  List.iter
+    (fun r ->
+      check_int (r.Churn_eval.name ^ " nothing delivered") 0 r.Churn_eval.delivered;
+      check "pairs were still attempted" true (r.Churn_eval.pairs_attempted > 0))
+    reports
+
+let test_churn_loss_degrades () =
+  let run ?faults () =
+    let m = model 197 40 in
+    Churn_eval.run ?faults (Rand.create 199) ~model:m
+      ~strategies:[ { Churn_eval.name = "full"; build = Rs_core.Baseline.full } ]
+      ~steps:15 ~refresh:5 ~pairs_per_step:5
+  in
+  let clean = List.hd (run ()) in
+  let lossy =
+    List.hd (run ~faults:(Rs_distributed.Fault.make ~drop:0.3 ~seed:7 ()) ())
+  in
+  check_int "paired attempt counts" clean.Churn_eval.pairs_attempted
+    lossy.Churn_eval.pairs_attempted;
+  check "loss strictly reduces delivery" true
+    (lossy.Churn_eval.delivered < clean.Churn_eval.delivered)
+
 let () =
   Alcotest.run "mobility"
     [
@@ -155,5 +204,8 @@ let () =
           Alcotest.test_case "report shape" `Quick test_churn_reports_shape;
           Alcotest.test_case "static = perfect" `Quick test_static_nodes_deliver_everything;
           Alcotest.test_case "spanner lighter" `Quick test_spanner_advertises_less;
+          Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
+          Alcotest.test_case "total loss delivers nothing" `Quick test_churn_total_loss;
+          Alcotest.test_case "loss degrades delivery" `Quick test_churn_loss_degrades;
         ] );
     ]
