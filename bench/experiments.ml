@@ -783,10 +783,10 @@ let e18_mobility () =
   let module W = Rs_mobility.Waypoint in
   let module C = Rs_mobility.Churn_eval in
   let strategies =
-    [ { C.name = "full LS"; build = Baseline.full };
-      { C.name = "(1,0)-RS"; build = Remote_spanner.exact_distance };
-      { C.name = "(1.5,0)-RS"; build = (fun g -> Remote_spanner.low_stretch g ~eps:0.5) };
-      { C.name = "2conn-RS"; build = Remote_spanner.two_connecting } ]
+    [ C.strategy "full LS" Baseline.full;
+      C.strategy "(1,0)-RS" Remote_spanner.exact_distance;
+      C.strategy "(1.5,0)-RS" (fun g -> Remote_spanner.low_stretch g ~eps:0.5);
+      C.strategy "2conn-RS" Remote_spanner.two_connecting ]
   in
   let cols =
     [ ("speed", 6); ("T", 4); ("strategy", 11); ("deliv %", 8); ("stretch", 8);

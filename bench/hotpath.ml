@@ -59,7 +59,29 @@ let bench_size rows ~n =
   let h = Remote_spanner.exact_distance g in
   add "verify/seq" (fun () -> Verify.is_remote_spanner g h ~alpha:1.0 ~beta:0.0);
   add "verify/par4" (fun () ->
-      Parallel.is_remote_spanner ~domains:4 g h ~alpha:1.0 ~beta:0.0)
+      Parallel.is_remote_spanner ~domains:4 g h ~alpha:1.0 ~beta:0.0);
+  (* Incremental repair: remove a batch of spread-out edges, then
+     restore them (state cycles back, so the benchmark is steady).
+     Compare against union/exact-seq, the from-scratch rebuild of the
+     same (1,0) spanner. *)
+  let module D = Rs_dynamic.Delta in
+  let module R = Rs_dynamic.Repair in
+  let st = R.init (R.Gdy_k { k = 1 }) g in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let add_repair name size =
+    let size = max 1 size in
+    let step = max 1 (m / size) in
+    let pairs = List.init size (fun i -> edges.(i * step)) in
+    let removals = List.map (fun (u, v) -> D.Remove_edge (u, v)) pairs in
+    let restores = List.map (fun (u, v) -> D.Add_edge (u, v)) pairs in
+    add name (fun () ->
+        ignore (R.apply st removals);
+        ignore (R.apply st restores))
+  in
+  add_repair "repair/delta1" 1;
+  add_repair "repair/delta-n100" (n / 100);
+  add_repair "repair/delta-n10" (n / 10)
 
 let () =
   let quick = Array.exists (( = ) "quick") Sys.argv in

@@ -80,6 +80,11 @@ let emit output content =
       let oc = open_out path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
 
+(* Route file-system failures (unwritable -o targets, --coords paths)
+   through the same one-line-diagnostic exit path as unreadable graph
+   files instead of an uncaught Sys_error backtrace. *)
+let catch_io f = try f () with Sys_error msg -> Error (`Msg msg)
+
 (* ------------------------------------------------------------------ *)
 (* gen *)
 
@@ -103,6 +108,7 @@ let gen_cmd =
          & info [ "coords" ] ~docv:"FILE" ~doc:"For udg: also save point coordinates (for 'rspan render').")
   in
   let run () family n seed p density k coords output =
+    catch_io @@ fun () ->
     let rand = Rand.create seed in
     let g =
       match family with
@@ -171,6 +177,7 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomize
 let build_cmd =
   let run () algo eps k seed graph_file output =
     with_graph graph_file @@ fun g ->
+    catch_io @@ fun () ->
     let h = build_algo algo ~eps ~k ~seed g in
     emit output (Graph_io.to_string (Edge_set.to_graph h));
     Logs.app (fun m ->
@@ -192,6 +199,7 @@ let build_cmd =
 let profile_cmd =
   let run () algo eps k seed graph_file output =
     with_graph graph_file @@ fun g ->
+    catch_io @@ fun () ->
     (* full instrumentation regardless of --stats; JSON to stdout (or
        -o FILE) so it can be piped straight into schema checks, human
        summary to stderr. *)
@@ -385,7 +393,14 @@ let periodic_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL event trace (single run only).")
   in
-  let run () period radius horizon expiry sweep bound trace ff graph_file =
+  let incremental =
+    Arg.(value & flag
+         & info [ "incremental" ]
+             ~doc:"Maintain the centralized target spanner by incremental repair \
+                   (lib/dynamic) alongside the protocol and fail if it ever \
+                   diverges from the from-scratch construction.")
+  in
+  let run () period radius horizon expiry sweep bound trace incremental ff graph_file =
     with_graph graph_file @@ fun g ->
     let tree_of g u = Rs_core.Dom_tree_k.gdy_k g ~k:1 u in
     let losses =
@@ -415,11 +430,18 @@ let periodic_cmd =
           match Option.map Trace.to_file trace with
           | exception Sys_error msg -> Error (`Msg msg)
           | sink ->
+              let maintainer =
+                (* fresh repair state per run; the same (2,0)-tree family
+                   the protocol's tree_of computes *)
+                if incremental then
+                  Some (Rs_dynamic.Repair.incremental_target (Rs_dynamic.Repair.Gdy_k { k = 1 }))
+                else None
+              in
               let res =
                 Fun.protect ~finally:(fun () -> Option.iter Trace.close sink)
                 @@ fun () ->
-                Periodic.simulate ?trace:sink ?faults ?expiry ~initial:g
-                  ~events:[] ~period ~radius ~horizon ~tree_of ()
+                Periodic.simulate ?trace:sink ?faults ?expiry ?incremental:maintainer
+                  ~initial:g ~events:[] ~period ~radius ~horizon ~tree_of ()
               in
               let delivery =
                 100.0
@@ -434,13 +456,25 @@ let periodic_cmd =
                     | Some t -> string_of_int t
                     | None -> "never")
                     (match lag with Some l -> string_of_int l | None -> "-"));
-              (match bound with
-              | Some b when not (Periodic.self_stabilizes res ~bound:b) ->
-                  Error
-                    (`Msg
-                      (Printf.sprintf
-                         "loss=%.2f: did not self-stabilize within %d rounds" loss b))
-              | _ -> Ok ()))
+              if incremental then
+                Logs.app (fun m ->
+                    m "incremental repair: %d mismatching rounds of %d"
+                      res.Periodic.incremental_mismatches horizon);
+              if res.Periodic.incremental_mismatches > 0 then
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "loss=%.2f: incremental repair diverged from the \
+                        from-scratch target in %d rounds"
+                       loss res.Periodic.incremental_mismatches))
+              else
+                match bound with
+                | Some b when not (Periodic.self_stabilizes res ~bound:b) ->
+                    Error
+                      (`Msg
+                        (Printf.sprintf
+                           "loss=%.2f: did not self-stabilize within %d rounds" loss b))
+                | _ -> Ok ())
     in
     List.fold_left
       (fun acc loss -> match acc with Error _ -> acc | Ok () -> one loss)
@@ -450,7 +484,7 @@ let periodic_cmd =
     Term.(
       term_result
         (const run $ obs_term $ period $ radius $ horizon $ expiry $ sweep $ bound
-       $ trace $ fault_term $ graph_arg 0))
+       $ trace $ incremental $ fault_term $ graph_arg 0))
   in
   Cmd.v
     (Cmd.info "periodic"
@@ -632,15 +666,12 @@ let dot_cmd =
   let run () graph_file spanner_file output =
     with_graph graph_file @@ fun g ->
     match spanner_file with
-    | None ->
-        emit output (Graph_io.to_dot g);
-        Ok ()
+    | None -> catch_io (fun () -> emit output (Graph_io.to_dot g); Ok ())
     | Some file -> (
         match edge_set_of g file with
         | Error e -> Error e
         | Ok h ->
-            emit output (Graph_io.to_dot ~highlight:h g);
-            Ok ())
+            catch_io (fun () -> emit output (Graph_io.to_dot ~highlight:h g); Ok ()))
   in
   let term = Term.(term_result (const run $ obs_term $ graph_arg 0 $ spanner_file $ output_arg)) in
   Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz DOT, optionally highlighting a spanner.") term
@@ -689,7 +720,15 @@ let churn_cmd =
   let refresh = Arg.(value & opt int 8 & info [ "refresh" ] ~doc:"Advertisement refresh period (steps).") in
   let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Simulation length (steps).") in
   let side = Arg.(value & opt float 4.0 & info [ "side" ] ~doc:"Square side (unit radio range).") in
-  let run () n seed speed refresh steps side ff =
+  let incremental =
+    Arg.(value & flag
+         & info [ "incremental" ]
+             ~doc:"Maintain spanner advertisements by incremental repair \
+                   (lib/dynamic) instead of from-scratch rebuilds at each \
+                   refresh; every refresh is gated against the rebuild and \
+                   the command fails on any divergence.")
+  in
+  let run () n seed speed refresh steps side incremental ff =
     match build_faults ff with
     | Error e -> Error e
     | Ok faults ->
@@ -699,31 +738,182 @@ let churn_cmd =
       W.create (Rand.create seed) ~n ~side ~speed_min:(speed /. 2.0) ~speed_max:speed
         ~pause:2
     in
+    let module Repair = Rs_dynamic.Repair in
     let strategies =
-      [ { C.name = "full LS"; build = Baseline.full };
-        { C.name = "(1,0)-RS"; build = Remote_spanner.exact_distance };
-        { C.name = "(1.5,0)-RS"; build = (fun g -> Remote_spanner.low_stretch g ~eps:0.5) };
-        { C.name = "2conn-RS"; build = Remote_spanner.two_connecting } ]
+      [ C.strategy "full LS" Baseline.full;
+        C.strategy ~spec:(Repair.Gdy_k { k = 1 }) "(1,0)-RS"
+          Remote_spanner.exact_distance;
+        C.strategy
+          ~spec:(Repair.Mis { r = Remote_spanner.r_of_eps 0.5 })
+          "(1.5,0)-RS"
+          (fun g -> Remote_spanner.low_stretch g ~eps:0.5);
+        C.strategy ~spec:(Repair.Mis_k { k = 2 }) "2conn-RS"
+          Remote_spanner.two_connecting ]
     in
     let reports =
-      C.run ?faults (Rand.create (seed + 1)) ~model ~strategies ~steps ~refresh
-        ~pairs_per_step:6
+      C.run ?faults ~incremental (Rand.create (seed + 1)) ~model ~strategies ~steps
+        ~refresh ~pairs_per_step:6
     in
     List.iter
       (fun r ->
         Logs.app (fun m ->
-            m "%-12s delivery %5.1f%%  stretch %.3f  advertised %.0f" r.C.name
+            m "%-12s delivery %5.1f%%  stretch %.3f  advertised %.0f%s" r.C.name
               (100.0 *. float_of_int r.C.delivered /. float_of_int (max 1 r.C.pairs_attempted))
-              r.C.mean_stretch r.C.mean_advertised))
+              r.C.mean_stretch r.C.mean_advertised
+              (if incremental then
+                 Printf.sprintf "  repair mismatches %d" r.C.repair_mismatches
+               else "")))
       reports;
-    Ok ()
+    let mismatches =
+      List.fold_left (fun acc r -> acc + r.C.repair_mismatches) 0 reports
+    in
+    if mismatches > 0 then
+      Error
+        (`Msg
+          (Printf.sprintf
+             "incremental repair diverged from from-scratch rebuilds at %d refreshes"
+             mismatches))
+    else Ok ()
   in
   let term =
     Term.(
       term_result
-        (const run $ obs_term $ n $ seed $ speed $ refresh $ steps $ side $ fault_term))
+        (const run $ obs_term $ n $ seed $ speed $ refresh $ steps $ side $ incremental
+       $ fault_term))
   in
   Cmd.v (Cmd.info "churn" ~doc:"Routing-under-mobility comparison of advertised sub-graphs.") term
+
+(* ------------------------------------------------------------------ *)
+(* heal *)
+
+(* The constructions the dynamic-repair layer can maintain, keyed by
+   the same --algo names as `rspan build`. *)
+let repair_spec_of algo ~eps ~k =
+  let module Repair = Rs_dynamic.Repair in
+  match algo with
+  | `Exact -> Ok (Repair.Gdy_k { k = 1 })
+  | `Low_stretch -> Ok (Repair.Mis { r = Remote_spanner.r_of_eps eps })
+  | `Low_stretch_gdy -> Ok (Repair.Gdy { r = Remote_spanner.r_of_eps eps; beta = 1 })
+  | `K_connecting -> Ok (Repair.Gdy_k { k })
+  | `Two_connecting -> Ok (Repair.Mis_k { k = 2 })
+  | `K_connecting_mis -> Ok (Repair.Mis_k { k })
+  | _ ->
+      Error
+        (`Msg
+          "heal supports --algo exact, low-stretch, low-stretch-gdy, \
+           k-connecting, two-connecting and k-connecting-mis")
+
+let heal_cmd =
+  let module Repair = Rs_dynamic.Repair in
+  let module Delta = Rs_dynamic.Delta in
+  let deltas_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "deltas" ] ~docv:"FILE"
+          ~doc:
+            "Topology delta file: lines 'add U V', 'remove U V', 'down U', \
+             'up U V1 V2 ...' ('#' comments).")
+  in
+  let step =
+    Arg.(
+      value & flag
+      & info [ "step" ]
+          ~doc:
+            "Apply the delta file one operation at a time (one repair per op) \
+             instead of as a single batch.")
+  in
+  let dirty_radius =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dirty-radius" ] ~docv:"R"
+          ~doc:
+            "Override the construction's locality radius for dirty-set tracking \
+             (an under-estimate exercises the escalation ladder).")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip the final from-scratch equivalence and (alpha,beta) stretch \
+             checks; report repair cost only.")
+  in
+  let run () algo eps k deltas_file step no_verify dirty_radius graph_file output =
+    with_graph graph_file @@ fun g ->
+    match repair_spec_of algo ~eps ~k with
+    | Error e -> Error e
+    | Ok spec -> (
+        match
+          try Ok (Delta.load deltas_file)
+          with Failure m | Sys_error m -> Error (`Msg m)
+        with
+        | Error e -> Error e
+        | Ok ops -> (
+            let heal () =
+              let st = Repair.init spec g in
+              let batches = if step then List.map (fun op -> [ op ]) ops else [ ops ] in
+              let total = ref 0 in
+              List.iteri
+                (fun i batch ->
+                  let o = Repair.apply ?dirty_radius st batch in
+                  total := !total + o.Repair.rebuilt;
+                  Logs.app (fun m ->
+                      m "delta %d: %a" i Repair.pp_outcome o))
+                batches;
+              (st, !total)
+            in
+            match heal () with
+            | exception Invalid_argument msg -> Error (`Msg (deltas_file ^ ": " ^ msg))
+            | st, total_rebuilt -> (
+                let g' = Repair.graph st in
+                let h = Repair.spanner st in
+                Logs.app (fun m ->
+                    m "healed: n=%d m=%d, spanner %d edges, %d of %d trees recomputed"
+                      (Graph.n g') (Graph.m g') (Edge_set.cardinal h) total_rebuilt
+                      (Graph.n g'));
+                let write () =
+                  catch_io (fun () ->
+                      emit output (Graph_io.to_string (Edge_set.to_graph h));
+                      Ok ())
+                in
+                if no_verify then write ()
+                else if Repair.pairs st <> Edge_set.to_list (Repair.build spec g') then
+                  Error
+                    (`Msg "healed spanner differs from the from-scratch build")
+                else begin
+                  Logs.app (fun m ->
+                      m "equivalence: healed spanner = from-scratch build");
+                  match Repair.alpha_beta spec with
+                  | Some (alpha, beta)
+                    when not (Verify.is_remote_spanner g' h ~alpha ~beta) ->
+                      Error
+                        (`Msg
+                          (Printf.sprintf
+                             "healed spanner violates the (%g, %g) stretch bound"
+                             alpha beta))
+                  | Some (alpha, beta) ->
+                      Logs.app (fun m ->
+                          m "verified: (%g, %g)-remote-spanner" alpha beta);
+                      write ()
+                  | None -> write ()
+                end)))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ deltas_arg $ step
+       $ no_verify $ dirty_radius $ graph_arg 0 $ output_arg))
+  in
+  Cmd.v
+    (Cmd.info "heal"
+       ~doc:
+         "Apply a topology delta file to a graph and incrementally repair its \
+          remote-spanner (recomputing only dirty nodes' trees), reporting repair \
+          cost, escalations and equivalence against a from-scratch rebuild; \
+          -o writes the healed spanner.")
+    term
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -733,6 +923,6 @@ let () =
   let group =
     Cmd.group info
       [ gen_cmd; build_cmd; profile_cmd; sim_cmd; periodic_cmd; verify_cmd; stats_cmd;
-        route_cmd; dot_cmd; render_cmd; churn_cmd ]
+        route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd ]
   in
   exit (Cmd.eval group)

@@ -20,9 +20,9 @@ let () =
     speed refresh;
   let strategies =
     [
-      { C.name = "full link-state"; build = Rs_core.Baseline.full };
-      { C.name = "(1,0)-remote-spanner"; build = Rs_core.Remote_spanner.exact_distance };
-      { C.name = "2-connecting RS"; build = Rs_core.Remote_spanner.two_connecting };
+      C.strategy "full link-state" Rs_core.Baseline.full;
+      C.strategy "(1,0)-remote-spanner" Rs_core.Remote_spanner.exact_distance;
+      C.strategy "2-connecting RS" Rs_core.Remote_spanner.two_connecting;
     ]
   in
   let reports =

@@ -19,6 +19,7 @@ type result = {
   messages : int;
   lost : int;
   quiet_at : int;
+  incremental_mismatches : int;
 }
 
 type entry = { seq : int; nbrs : int array; heard_at : int }
@@ -93,8 +94,8 @@ let recompute_tree ~tree_of g cache u =
   in
   List.map (fun (p, c) -> canonical (vs.(p), vs.(c))) by_depth
 
-let simulate ?trace ?faults ?expiry ~initial ~events ~period ~radius ~horizon
-    ~tree_of () =
+let simulate ?trace ?faults ?expiry ?incremental ~initial ~events ~period ~radius
+    ~horizon ~tree_of () =
   if period < 1 || radius < 1 then invalid_arg "Periodic.simulate: period, radius >= 1";
   let expiry = match expiry with Some e -> e | None -> 2 * period in
   if expiry < 1 then invalid_arg "Periodic.simulate: expiry >= 1";
@@ -116,6 +117,7 @@ let simulate ?trace ?faults ?expiry ~initial ~events ~period ~radius ~horizon
   let fstate = Option.map Fault.start faults in
   let up = Array.make n true in
   let lost = ref 0 in
+  let incremental_mismatches = ref 0 in
   (* delayed advertisement copies: delivery round -> (dst, msg), reversed *)
   let pending : (int, (int * msg) list) Hashtbl.t = Hashtbl.create 16 in
   let schedule at entry =
@@ -330,6 +332,19 @@ let simulate ?trace ?faults ?expiry ~initial ~events ~period ~radius ~horizon
         union := List.fold_left (fun acc e -> Pair_set.add e acc) !union trees.(u)
     done;
     matched.(t) <- Pair_set.equal !union (target gt);
+    (* the incrementally maintained centralized spanner must agree
+       with the memoized from-scratch target on every epoch *)
+    (match incremental with
+    | None -> ()
+    | Some maintain ->
+        let inc = List.fold_left (fun acc e -> Pair_set.add (canonical e) acc)
+            Pair_set.empty (maintain gt)
+        in
+        if not (Pair_set.equal inc (target gt)) then begin
+          incr incremental_mismatches;
+          if tracing then
+            emit [ ("ev", Json.String "incremental_mismatch"); ("round", Json.Int t) ]
+        end);
     if tracing then
       emit
         [
@@ -356,7 +371,14 @@ let simulate ?trace ?faults ?expiry ~initial ~events ~period ~radius ~horizon
   Option.iter
     (fun t -> Obs.observe h_convergence_lag (float_of_int (t - quiet_at)))
     converged_at;
-  { converged_at; matched; messages = !messages; lost = !lost; quiet_at }
+  {
+    converged_at;
+    matched;
+    messages = !messages;
+    lost = !lost;
+    quiet_at;
+    incremental_mismatches = !incremental_mismatches;
+  }
 
 let stabilization_lag res =
   match res.converged_at with

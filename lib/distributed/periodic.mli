@@ -58,12 +58,18 @@ type result = {
           interfere: max of the last event's [at] and
           [Fault.quiet_at] of the plan (0 with no faults; [max_int]
           when faults never cease — then [converged_at] is [None]) *)
+  incremental_mismatches : int;
+      (** rounds where the [?incremental] maintainer's spanner differed
+          from the memoized from-scratch target (0 when the hook is
+          absent — and expected 0 when present: the constructions are
+          deterministic, so a correct repair reproduces the rebuild) *)
 }
 
 val simulate :
   ?trace:Rs_obs.Trace.sink ->
   ?faults:Fault.plan ->
   ?expiry:int ->
+  ?incremental:(Graph.t -> (int * int) list) ->
   initial:Graph.t ->
   events:event list ->
   period:int ->
@@ -86,6 +92,17 @@ val simulate :
 
     On convergence the stabilization lag ([converged_at - quiet_at])
     is recorded in the [periodic/convergence_lag] histogram.
+
+    [?incremental] injects a maintained centralized spanner (pass
+    [Rs_dynamic.Repair.incremental_target spec] — this module cannot
+    depend on [rs_dynamic] itself, [rs_core] sits between them): the
+    closure is called once per round with the current graph and must
+    return its spanner as canonical pairs. Each epoch it is compared
+    against the memoized from-scratch target; divergences are counted
+    in [incremental_mismatches] and emitted as
+    [incremental_mismatch {round}] trace events. The protocol itself
+    is unaffected — this is an equivalence gate riding along the
+    simulation.
 
     [?trace] streams JSONL events to the sink: [round_start],
     [originate {round, node, seq}], [expire {round, node, origin}],

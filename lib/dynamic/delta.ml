@@ -1,0 +1,169 @@
+open Rs_graph
+
+type op =
+  | Add_edge of int * int
+  | Remove_edge of int * int
+  | Node_down of int
+  | Node_up of int * int list
+
+type t = op list
+
+let check_vertex n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Delta: vertex %d out of range [0..%d)" v n)
+
+let check_edge n u v =
+  check_vertex n u;
+  check_vertex n v;
+  if u = v then invalid_arg (Printf.sprintf "Delta: self-loop at vertex %d" u)
+
+(* Edge sets as int-encoded canonical pairs in a hash table: a
+   polymorphic-compare [Set] of boxed tuples made every apply O(m log m)
+   with a constant large enough to dominate repair latency. *)
+let encode n u v = if u <= v then (u * n) + v else (v * n) + u
+let decode n e = (e / n, e mod n)
+
+let edge_tbl g =
+  let n = Graph.n g in
+  let t = Hashtbl.create (1 + (2 * Graph.m g)) in
+  Graph.fold_edges
+    (fun () u v ->
+      Hashtbl.replace t (encode n u v) ();
+      ())
+    () g;
+  t
+
+let after_tbl g ops =
+  let n = Graph.n g in
+  let t = edge_tbl g in
+  List.iter
+    (fun op ->
+      match op with
+      | Add_edge (u, v) ->
+          check_edge n u v;
+          Hashtbl.replace t (encode n u v) ()
+      | Remove_edge (u, v) ->
+          check_edge n u v;
+          Hashtbl.remove t (encode n u v)
+      | Node_down u ->
+          check_vertex n u;
+          let doomed =
+            Hashtbl.fold
+              (fun e () acc ->
+                let a, b = decode n e in
+                if a = u || b = u then e :: acc else acc)
+              t []
+          in
+          List.iter (Hashtbl.remove t) doomed
+      | Node_up (u, links) ->
+          List.iter
+            (fun v ->
+              check_edge n u v;
+              Hashtbl.replace t (encode n u v) ())
+            links)
+    ops;
+  t
+
+(* Sorting the int encodings with [Int.compare] is the lexicographic
+   pair order, without polymorphic compare on tuples. *)
+let pairs_of_tbl n t =
+  Hashtbl.fold (fun e () acc -> e :: acc) t []
+  |> List.sort Int.compare
+  |> List.map (decode n)
+
+let only n t t' =
+  Hashtbl.fold (fun e () acc -> if Hashtbl.mem t' e then acc else e :: acc) t []
+  |> List.sort Int.compare
+  |> List.map (decode n)
+
+let effect g ops =
+  let n = Graph.n g in
+  let before = edge_tbl g in
+  let after = after_tbl g ops in
+  (only n after before, only n before after)
+
+let apply g ops =
+  let n = Graph.n g in
+  let before = edge_tbl g in
+  let after = after_tbl g ops in
+  let unchanged =
+    Hashtbl.length before = Hashtbl.length after
+    && Hashtbl.fold (fun e () ok -> ok && Hashtbl.mem before e) after true
+  in
+  if unchanged then g else Graph.make ~n (pairs_of_tbl n after)
+
+let diff g g' =
+  if Graph.n g <> Graph.n g' then
+    invalid_arg
+      (Printf.sprintf "Delta.diff: vertex counts differ (%d vs %d)" (Graph.n g)
+         (Graph.n g'));
+  let n = Graph.n g in
+  let before = edge_tbl g and after = edge_tbl g' in
+  List.map (fun (u, v) -> Remove_edge (u, v)) (only n before after)
+  @ List.map (fun (u, v) -> Add_edge (u, v)) (only n after before)
+
+let touched ~added ~removed =
+  let m = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace m u ();
+      Hashtbl.replace m v ())
+    added;
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace m u ();
+      Hashtbl.replace m v ())
+    removed;
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) m [])
+
+(* ------------------------------------------------------------------ *)
+(* delta files *)
+
+let parse text =
+  let ops = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let toks =
+        String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+        |> List.filter (( <> ) "")
+      in
+      let bad why = failwith (Printf.sprintf "Delta.parse: line %d: %s" (i + 1) why) in
+      let int s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> bad ("not an integer: " ^ s)
+      in
+      match toks with
+      | [] -> ()
+      | [ "add"; u; v ] -> ops := Add_edge (int u, int v) :: !ops
+      | [ "remove"; u; v ] -> ops := Remove_edge (int u, int v) :: !ops
+      | [ "down"; u ] -> ops := Node_down (int u) :: !ops
+      | "up" :: u :: links when links <> [] ->
+          ops := Node_up (int u, List.map int links) :: !ops
+      | "add" :: _ -> bad "expected: add U V"
+      | "remove" :: _ -> bad "expected: remove U V"
+      | "down" :: _ -> bad "expected: down U"
+      | "up" :: _ -> bad "expected: up U V1 [V2 ...]"
+      | kw :: _ -> bad ("unknown directive: " ^ kw))
+    lines;
+  List.rev !ops
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let pp_op fmt = function
+  | Add_edge (u, v) -> Format.fprintf fmt "add %d %d" u v
+  | Remove_edge (u, v) -> Format.fprintf fmt "remove %d %d" u v
+  | Node_down u -> Format.fprintf fmt "down %d" u
+  | Node_up (u, links) ->
+      Format.fprintf fmt "up %d%t" u (fun fmt ->
+          List.iter (fun v -> Format.fprintf fmt " %d" v) links)

@@ -1,0 +1,117 @@
+(** Incremental spanner repair under topology deltas.
+
+    The paper's locality promise (Propositions 1 and 5) made
+    operational: a node's dominating tree is a function of its bounded
+    neighborhood only — radius [max r (r-1+beta)] for the Prop.-1 tree
+    families, radius 2 for the (2,0)/(2,1) k-connecting star families —
+    so when a delta touches the topology, only the roots whose
+    {e relevant neighborhood} (in the old {e or} the new graph)
+    intersects the changed edges need their trees recomputed. [Repair]
+    maintains the full union-of-trees spanner across deltas by:
+
+    + computing the dirty set with bounded multi-source BFS from the
+      delta's touched endpoints, at the spec's locality radius;
+    + recomputing dominating trees for dirty roots only (reusing one
+      {!Rs_graph.Bfs.Scratch} across roots, and the lazy greedy covers
+      underneath the constructions);
+    + splicing the new trees into the maintained edge multiset —
+      per-edge reference counts over canonical pairs, so an edge leaves
+      the spanner exactly when its last contributing tree drops it;
+    + verifying the repair — every retained tree edge must survive in
+      the new graph, the clean trees on the dirty fringe must still be
+      dominating, and the (alpha, beta) stretch bound must hold from
+      every dirty source — and {e escalating} when verification fails:
+      dirty set -> 2-hop closure -> full rebuild (the ladder).
+
+    With the correct locality radius the ladder never escalates and
+    the repaired spanner is identical, root tree by root tree, to a
+    from-scratch build on the new graph (the equivalence property
+    tests assert exactly this); the ladder exists so that an
+    under-estimated radius (see [?dirty_radius]) degrades to a wider,
+    costlier — but still verified — repair instead of a wrong one. *)
+
+open Rs_graph
+
+(** Which dominating-tree family the maintained spanner unions. The
+    four specs correspond to {!Rs_core.Remote_spanner.rem_span},
+    [low_stretch], [exact_distance]/[k_connecting] and
+    [k_connecting_mis]/[two_connecting] respectively. *)
+type spec =
+  | Gdy of { r : int; beta : int }  (** Algorithm 1 trees *)
+  | Mis of { r : int }  (** Algorithm 2 trees (beta = 1) *)
+  | Gdy_k of { k : int }  (** Algorithm 4 stars, (2,0) *)
+  | Mis_k of { k : int }  (** Algorithm 5 trees, (2,1) *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val radius : spec -> int
+(** Locality radius of the spec's tree construction: a root whose
+    distance to every delta endpoint exceeds this (in both the old and
+    the new graph) provably computes the same tree. *)
+
+val alpha_beta : spec -> (float * float) option
+(** The (alpha, beta) remote-spanner guarantee of the union, used by
+    the scoped verification gate; [None] for parameterizations the
+    paper proves no distance bound for (e.g. [Gdy] with [beta >= 2] —
+    those repairs are still gated on tree domination). *)
+
+val build : spec -> Graph.t -> Edge_set.t
+(** From-scratch union of the spec's trees over all roots — the
+    reference the repaired spanner is checked against. *)
+
+(** {1 Maintained state} *)
+
+type t
+(** A graph, one dominating tree per root, and their refcounted edge
+    union. *)
+
+val init : spec -> Graph.t -> t
+(** Full build: one tree per root (n bounded traversals). *)
+
+val graph : t -> Graph.t
+(** The current host graph ({e after} all applied deltas). *)
+
+val spanner : t -> Edge_set.t
+(** The maintained spanner over {!graph}. Owned by the repair state —
+    do not mutate; it is replaced wholesale by {!apply}. *)
+
+val pairs : t -> (int * int) list
+(** The spanner as sorted canonical pairs — host-independent, for
+    equivalence checks against a from-scratch build. *)
+
+val tree_edges : t -> int -> (int * int) list
+(** [(parent, child)] edges of the maintained tree of one root,
+    shallow-first. *)
+
+type level =
+  | Local  (** dirty set only — the fast path *)
+  | Widened  (** escalated once: 2-hop closure of the dirty set *)
+  | Full  (** escalated twice: from-scratch rebuild *)
+
+type outcome = {
+  dirty : int;  (** size of the initial dirty set *)
+  rebuilt : int;  (** trees recomputed, across all ladder rungs *)
+  escalations : int;  (** ladder rungs climbed (0 on the fast path) *)
+  level : level;  (** rung at which verification passed *)
+  edges_changed : int;  (** spanner edges added + removed by the repair *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val apply : ?dirty_radius:int -> t -> Delta.t -> outcome
+(** Apply one delta batch and repair the spanner. A delta with empty
+    net effect recomputes nothing and leaves both {!graph} and
+    {!spanner} physically untouched. Records [repair/*] counters
+    (dirty nodes, trees rebuilt, escalations, saved BFS runs) and the
+    [repair/latency] histogram (milliseconds per apply).
+
+    [?dirty_radius] overrides the spec's locality radius — a testing
+    and experimentation hook: an under-estimate forces the verification
+    gate to fail and exercises the escalation ladder. *)
+
+val incremental_target : spec -> Graph.t -> (int * int) list
+(** A stateful maintainer for {!Rs_distributed.Periodic.simulate}'s
+    [?incremental] hook: the first call initializes a repair state from
+    the given graph, every later call diffs against the previous graph
+    and repairs; returns the maintained spanner as sorted canonical
+    pairs. Each returned closure owns its own state. *)

@@ -3,8 +3,16 @@ module Edge_set = Rs_graph.Edge_set
 module Bfs = Rs_graph.Bfs
 module Rand = Rs_graph.Rand
 module Fault = Rs_distributed.Fault
+module Delta = Rs_dynamic.Delta
+module Repair = Rs_dynamic.Repair
 
-type strategy = { name : string; build : Graph.t -> Edge_set.t }
+type strategy = {
+  name : string;
+  build : Graph.t -> Edge_set.t;
+  spec : Repair.spec option;
+}
+
+let strategy ?spec name build = { name; build; spec }
 
 type report = {
   name : string;
@@ -14,6 +22,7 @@ type report = {
   mean_stretch : float;
   mean_advertised : float;
   link_changes : int;
+  repair_mismatches : int;
 }
 
 (* mutable per-strategy accumulator *)
@@ -25,6 +34,8 @@ type state = {
   mutable attempted : int;
   mutable delivered : int;
   mutable stretch_sum : float;
+  mutable repair : Repair.t option;  (** incremental mode only *)
+  mutable repair_mismatches : int;
 }
 
 (* belief distances from [dst] in (stale H + c's current links);
@@ -126,7 +137,44 @@ let adjacency_of_pairs ~n pairs =
     pairs;
   adj
 
-let run ?faults rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
+(* Refresh one strategy's advertisement from the current topology.
+   Full mode rebuilds H from scratch. Incremental mode (strategy has a
+   repair spec) diffs the topology against the maintained repair state,
+   heals it, and gates the result against the from-scratch build: any
+   divergence is counted in [repair_mismatches] and the from-scratch H
+   wins, so routing results can degrade only in the report, never
+   silently. *)
+let refresh_state ~n ~incremental g st =
+  let full () = Edge_set.to_list (st.strategy.build g) in
+  let pairs =
+    match (incremental, st.strategy.spec) with
+    | false, _ | true, None -> full ()
+    | true, Some spec ->
+        let r =
+          match st.repair with
+          | Some r ->
+              if Repair.graph r != g then
+                ignore (Repair.apply r (Delta.diff (Repair.graph r) g));
+              r
+          | None ->
+              let r = Repair.init spec g in
+              st.repair <- Some r;
+              r
+        in
+        let healed = Repair.pairs r in
+        let reference = full () in
+        if healed = reference then healed
+        else begin
+          st.repair_mismatches <- st.repair_mismatches + 1;
+          reference
+        end
+  in
+  st.stale_adj <- adjacency_of_pairs ~n pairs;
+  st.advertised_sum <- st.advertised_sum + List.length pairs;
+  st.refreshes <- st.refreshes + 1
+
+let run ?faults ?(incremental = false) rand ~model ~strategies ~steps ~refresh
+    ~pairs_per_step =
   if refresh < 1 || steps < 1 then invalid_arg "Churn_eval.run: steps, refresh >= 1";
   let fault = Option.map Fault.start faults in
   let n = Waypoint.n model in
@@ -141,6 +189,8 @@ let run ?faults rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
           attempted = 0;
           delivered = 0;
           stretch_sum = 0.0;
+          repair = None;
+          repair_mismatches = 0;
         })
       strategies
   in
@@ -152,14 +202,7 @@ let run ?faults rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
     | Some p -> link_changes := !link_changes + count_flips p g
     | None -> ());
     prev_graph := Some g;
-    if t mod refresh = 0 then
-      List.iter
-        (fun st ->
-          let h = st.strategy.build g in
-          st.stale_adj <- adjacency_of_pairs ~n (Edge_set.to_list h);
-          st.advertised_sum <- st.advertised_sum + Edge_set.cardinal h;
-          st.refreshes <- st.refreshes + 1)
-        states;
+    if t mod refresh = 0 then List.iter (refresh_state ~n ~incremental g) states;
     (* shared random pairs for a paired comparison *)
     let d0 = Bfs.dist g 0 in
     ignore d0;
@@ -193,5 +236,6 @@ let run ?faults rand ~model ~strategies ~steps ~refresh ~pairs_per_step =
           (if st.refreshes = 0 then 0.0
            else float_of_int st.advertised_sum /. float_of_int st.refreshes);
         link_changes = !link_changes;
+        repair_mismatches = st.repair_mismatches;
       })
     states

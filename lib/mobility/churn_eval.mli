@@ -15,7 +15,20 @@ type strategy = {
   name : string;
   build : Rs_graph.Graph.t -> Rs_graph.Edge_set.t;
       (** recomputed at each refresh from the current topology *)
+  spec : Rs_dynamic.Repair.spec option;
+      (** when present, [run ~incremental:true] maintains this
+          strategy's H with {!Rs_dynamic.Repair} across refreshes
+          instead of rebuilding; [build] must agree with the spec (it
+          serves as the equivalence reference) *)
 }
+
+val strategy :
+  ?spec:Rs_dynamic.Repair.spec ->
+  string ->
+  (Rs_graph.Graph.t -> Rs_graph.Edge_set.t) ->
+  strategy
+(** [strategy ?spec name build] — [spec] defaults to [None] (always
+    rebuild from scratch). *)
 
 type report = {
   name : string;
@@ -25,10 +38,17 @@ type report = {
   mean_stretch : float;  (** over delivered packets *)
   mean_advertised : float;  (** average |E(H)| across refreshes *)
   link_changes : int;  (** total UDG edge flips over the run *)
+  repair_mismatches : int;
+      (** refreshes where the incrementally repaired H differed from
+          the from-scratch build (0 unless [~incremental:true] and the
+          strategy carries a spec; expected 0 then too — the
+          constructions are deterministic, so incremental repair at the
+          correct locality radius reproduces the rebuild exactly) *)
 }
 
 val run :
   ?faults:Rs_distributed.Fault.plan ->
+  ?incremental:bool ->
   Rs_graph.Rand.t ->
   model:Waypoint.t ->
   strategies:strategy list ->
@@ -44,6 +64,17 @@ val run :
     paired). Greedy forwarding runs on H' = (H ∩ current edges) plus
     the forwarding node's current links; a routing loop or dead end is
     a loss.
+
+    [?incremental] (default false) switches strategies that carry a
+    repair spec to incremental maintenance: at each refresh the
+    topology delta since the previous refresh is computed
+    ({!Rs_dynamic.Delta.diff}) and healed into the maintained spanner
+    ({!Rs_dynamic.Repair.apply}) instead of rebuilding H from scratch.
+    Every refresh is {e gated}: the healed edge set is compared
+    against the from-scratch build; a divergence increments
+    [repair_mismatches] and the from-scratch H is advertised, so
+    routing figures are never silently corrupted by a bad repair.
+    Strategies without a spec are unaffected.
 
     [?faults] composes the E18 staleness study with link-level
     adversity: each forwarded hop at step [t] can be lost with the

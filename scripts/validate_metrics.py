@@ -2,7 +2,7 @@
 """Validate rspan observability output.
 
 Usage:
-  validate_metrics.py [--require-histogram NAME]... FILE [FILE...]
+  validate_metrics.py [--expect COUNTER]... [--require-histogram NAME]... FILE...
   validate_metrics.py --trace [--expect EV]... FILE [FILE...]
 
 Default mode checks an `Obs.to_json ()` metrics registry against the
@@ -10,7 +10,8 @@ schema documented in docs/OBSERVABILITY.md: top-level keys, value
 types, histogram structure (bucket counts sum to the histogram count),
 and that a profile run recorded at least one span, counter and
 histogram observation. `--require-histogram NAME` additionally demands
-that histogram NAME exists and has observations.
+that histogram NAME exists and has observations, and `--expect COUNTER`
+that counter COUNTER exists with a positive value.
 
 `--trace` mode instead validates a JSONL event trace (one object per
 line, discriminated by "ev") against the per-event field schemas —
@@ -30,7 +31,7 @@ def fail(path, msg):
     sys.exit(f"{path}: schema violation: {msg}")
 
 
-def validate_registry(path, require_histograms=()):
+def validate_registry(path, require_histograms=(), require_counters=()):
     with open(path) as f:
         doc = json.load(f)
 
@@ -91,6 +92,13 @@ def validate_registry(path, require_histograms=()):
             fail(path, f"required histogram {name!r} missing")
         if h["count"] < 1:
             fail(path, f"required histogram {name!r} has no observations")
+
+    for name in require_counters:
+        v = doc["counters"].get(name)
+        if v is None:
+            fail(path, f"required counter {name!r} missing")
+        if v < 1:
+            fail(path, f"required counter {name!r} never incremented")
 
     print(f"{path}: ok ({len(doc['counters'])} counters, "
           f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans)")
@@ -173,24 +181,28 @@ def main():
         description="Validate rspan metrics registries or JSONL traces.")
     ap.add_argument("--trace", action="store_true",
                     help="treat FILEs as JSONL event traces")
-    ap.add_argument("--expect", action="append", default=[], metavar="EV",
-                    choices=sorted(TRACE_SCHEMAS),
-                    help="(trace mode) require at least one EV event")
+    ap.add_argument("--expect", action="append", default=[], metavar="NAME",
+                    help="trace mode: require at least one event of kind NAME; "
+                         "registry mode: require counter NAME to be positive")
     ap.add_argument("--require-histogram", action="append", default=[],
                     metavar="NAME",
                     help="(registry mode) require histogram NAME to exist "
                          "with observations")
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
-    if args.expect and not args.trace:
-        ap.error("--expect only applies to --trace mode")
     if args.require_histogram and args.trace:
         ap.error("--require-histogram only applies to registry mode")
+    if args.trace:
+        for ev in args.expect:
+            if ev not in TRACE_SCHEMAS:
+                ap.error(f"--expect {ev}: unknown event kind "
+                         f"(choose from {', '.join(sorted(TRACE_SCHEMAS))})")
     for p in args.files:
         if args.trace:
             validate_trace(p, expect=args.expect)
         else:
-            validate_registry(p, require_histograms=args.require_histogram)
+            validate_registry(p, require_histograms=args.require_histogram,
+                              require_counters=args.expect)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,116 @@
+Malformed or missing input files must yield a one-line diagnostic and
+exit 124 — never a cmdliner usage dump or an uncaught backtrace.
+
+A graph file with a bad header:
+
+  $ printf 'bogus\n' > bad_header.txt
+  $ rspan stats bad_header.txt
+  rspan: bad_header.txt: Graph_io.of_string: bad header
+  [124]
+
+A malformed edge line:
+
+  $ printf '2 1\n0 1 junk\n' > bad_edge.txt
+  $ rspan stats bad_edge.txt
+  rspan: bad_edge.txt: Graph_io.of_string: bad edge line: 0 1 junk
+  [124]
+
+A header whose edge count disagrees with the body:
+
+  $ printf '3 2\n0 1\n' > short.txt
+  $ rspan stats short.txt
+  rspan: short.txt: Graph_io.of_string: edge count mismatch
+  [124]
+
+An edge referencing a vertex outside the declared range:
+
+  $ printf '2 1\n0 7\n' > oob.txt
+  $ rspan stats oob.txt
+  rspan: oob.txt: Graph.make: endpoint out of range (0,7)
+  [124]
+
+A missing graph file:
+
+  $ rspan stats no_such_graph.txt
+  rspan: no_such_graph.txt: No such file or directory
+  [124]
+
+A well-formed graph for the remaining cases:
+
+  $ rspan gen --family grid -n 9 -o g.txt
+  generated: n=9 m=12
+
+An unwritable output target (gen, build):
+
+  $ rspan gen --family path -n 4 -o no_such_dir/out.txt
+  rspan: no_such_dir/out.txt: No such file or directory
+  [124]
+  $ rspan build --algo exact g.txt -o no_such_dir/h.txt
+  rspan: no_such_dir/h.txt: No such file or directory
+  [124]
+
+An unwritable --coords target:
+
+  $ rspan gen --family udg -n 4 --coords no_such_dir/c.txt -o u.txt
+  rspan: no_such_dir/c.txt: No such file or directory
+  [124]
+
+A malformed coordinate file (render):
+
+  $ printf '2 2\n0 0\n' > bad_coords.txt
+  $ rspan render g.txt bad_coords.txt
+  rspan: Point_io.of_string: row count mismatch
+  [124]
+  $ printf 'x y\n' > bad_coords2.txt
+  $ rspan render g.txt bad_coords2.txt
+  rspan: Point_io.of_string: bad header
+  [124]
+
+A malformed crash/flap schedule:
+
+  $ printf 'crash oops\n' > bad_plan.txt
+  $ rspan periodic --crash-plan bad_plan.txt g.txt
+  rspan: Fault.parse_schedule: line 1: expected: crash NODE AT [RECOVER]
+  [124]
+
+A malformed topology delta file (heal):
+
+  $ printf 'frob 1 2\n' > bad_delta.txt
+  $ rspan heal --deltas bad_delta.txt g.txt
+  rspan: Delta.parse: line 1: unknown directive: frob
+  [124]
+  $ printf 'add 0\n' > bad_delta2.txt
+  $ rspan heal --deltas bad_delta2.txt g.txt
+  rspan: Delta.parse: line 1: expected: add U V
+  [124]
+
+A delta referencing a vertex outside the graph:
+
+  $ printf 'add 0 99\n' > oob_delta.txt
+  $ rspan heal --deltas oob_delta.txt g.txt
+  rspan: oob_delta.txt: Delta: vertex 99 out of range [0..9)
+  [124]
+
+A missing delta file:
+
+  $ rspan heal --deltas no_such_deltas.txt g.txt
+  rspan: no_such_deltas.txt: No such file or directory
+  [124]
+
+And the heal happy path: a removed-then-restored edge (quiescent net
+effect — nothing recomputed) and a real removal, both gated against
+the from-scratch rebuild.
+
+  $ printf 'remove 0 1\nadd 0 1\n' > quiet.txt
+  $ rspan heal --algo exact --deltas quiet.txt g.txt -o healed.txt
+  delta 0: dirty=0 rebuilt=0 escalations=0 level=local edges_changed=0
+  healed: n=9 m=12, spanner 12 edges, 0 of 9 trees recomputed
+  equivalence: healed spanner = from-scratch build
+  verified: (1, 0)-remote-spanner
+
+  $ printf 'remove 0 1\n' > cut.txt
+  $ rspan heal --algo exact --deltas cut.txt g.txt -o healed2.txt
+  delta 0: dirty=8 rebuilt=8 escalations=0 level=local edges_changed=2
+  healed: n=9 m=11, spanner 10 edges, 8 of 9 trees recomputed
+  equivalence: healed spanner = from-scratch build
+  verified: (1, 0)-remote-spanner

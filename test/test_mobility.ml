@@ -80,9 +80,11 @@ let test_waypoint_rejects_bad_params () =
 
 let strategies =
   [
-    { Churn_eval.name = "full"; build = Rs_core.Baseline.full };
-    { Churn_eval.name = "(1,0)-RS"; build = Rs_core.Remote_spanner.exact_distance };
-    { Churn_eval.name = "2conn"; build = Rs_core.Remote_spanner.two_connecting };
+    Churn_eval.strategy "full" Rs_core.Baseline.full;
+    Churn_eval.strategy ~spec:(Rs_dynamic.Repair.Gdy_k { k = 1 }) "(1,0)-RS"
+      Rs_core.Remote_spanner.exact_distance;
+    Churn_eval.strategy ~spec:(Rs_dynamic.Repair.Mis_k { k = 2 }) "2conn"
+      Rs_core.Remote_spanner.two_connecting;
   ]
 
 let test_churn_reports_shape () =
@@ -107,6 +109,23 @@ let test_churn_reports_shape () =
         (fun r -> check_int "paired" a.Churn_eval.pairs_attempted r.Churn_eval.pairs_attempted)
         rest
   | [] -> ()
+
+(* ~incremental:true maintains spanners through Repair.apply and gates
+   every refresh against the from-scratch build: zero mismatches, and
+   the routing results are identical to the full-rebuild run. *)
+let test_churn_incremental_equivalence () =
+  let run incremental =
+    let m = model 191 40 in
+    Churn_eval.run ~incremental (Rand.create 193) ~model:m ~strategies ~steps:20
+      ~refresh:5 ~pairs_per_step:5
+  in
+  let inc = run true in
+  List.iter
+    (fun r ->
+      check_int (r.Churn_eval.name ^ " no repair mismatches") 0
+        r.Churn_eval.repair_mismatches)
+    inc;
+  check "incremental run = full-rebuild run" true (inc = run false)
 
 let test_static_nodes_deliver_everything () =
   (* zero speed: no staleness, full delivery at stretch 1 for full and
@@ -175,7 +194,7 @@ let test_churn_loss_degrades () =
   let run ?faults () =
     let m = model 197 40 in
     Churn_eval.run ?faults (Rand.create 199) ~model:m
-      ~strategies:[ { Churn_eval.name = "full"; build = Rs_core.Baseline.full } ]
+      ~strategies:[ Churn_eval.strategy "full" Rs_core.Baseline.full ]
       ~steps:15 ~refresh:5 ~pairs_per_step:5
   in
   let clean = List.hd (run ()) in
@@ -202,6 +221,8 @@ let () =
       ( "churn_eval",
         [
           Alcotest.test_case "report shape" `Quick test_churn_reports_shape;
+          Alcotest.test_case "incremental = full rebuild" `Quick
+            test_churn_incremental_equivalence;
           Alcotest.test_case "static = perfect" `Quick test_static_nodes_deliver_everything;
           Alcotest.test_case "spanner lighter" `Quick test_spanner_advertises_less;
           Alcotest.test_case "deterministic" `Quick test_churn_deterministic;

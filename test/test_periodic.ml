@@ -70,6 +70,32 @@ let test_multiple_events () =
   check "re-converges after both" true (res.Periodic.converged_at <> None);
   check "final state good" true res.Periodic.matched.(horizon - 1)
 
+(* An incremental maintainer wired through [?incremental] must agree
+   with the from-scratch target on every round, across topology
+   events. *)
+let test_incremental_maintainer_agrees () =
+  let g = Gen.cycle 9 in
+  let period = 3 and radius = 1 and horizon = 70 in
+  let events =
+    [ { Periodic.at = 20; add = [ (0, 4) ]; remove = [] };
+      { Periodic.at = 40; add = [ (2, 7) ]; remove = [ (0, 4) ] } ]
+  in
+  let maintain =
+    Rs_dynamic.Repair.incremental_target (Rs_dynamic.Repair.Gdy_k { k = 1 })
+  in
+  let res =
+    Periodic.simulate ~incremental:maintain ~initial:g ~events ~period ~radius
+      ~horizon ~tree_of:tree20 ()
+  in
+  check "no mismatching rounds" true (res.Periodic.incremental_mismatches = 0);
+  check "still converges" true (res.Periodic.converged_at <> None);
+  (* and a broken maintainer is caught by the equivalence gate *)
+  let res =
+    Periodic.simulate ~incremental:(fun _ -> []) ~initial:g ~events ~period
+      ~radius ~horizon ~tree_of:tree20 ()
+  in
+  check "broken maintainer detected" true (res.Periodic.incremental_mismatches > 0)
+
 let test_messages_accounted () =
   let g = Gen.cycle 8 in
   let res =
@@ -455,6 +481,8 @@ let () =
           Alcotest.test_case "edge addition" `Quick test_edge_addition_stabilizes;
           Alcotest.test_case "edge removal" `Quick test_edge_removal_stabilizes;
           Alcotest.test_case "multiple events" `Quick test_multiple_events;
+          Alcotest.test_case "incremental maintainer" `Quick
+            test_incremental_maintainer_agrees;
           Alcotest.test_case "message accounting" `Quick test_messages_accounted;
           Alcotest.test_case "bad params" `Quick test_rejects_bad_params;
           Alcotest.test_case "unsorted events rejected" `Quick test_unsorted_events_rejected;
