@@ -23,20 +23,39 @@ let udg ~seed ~n ~density =
   let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
   Rs_geometry.Unit_ball.udg pts
 
-(* Wall-clock ns/op: one warm-up call, then repeat until both bounds
-   are met. Coarser than Bechamel's OLS but robust for the multi-second
-   union/verify runs at n = 2000. *)
+(* Wall-clock ns/op, minimum over timed batches: one warm-up call, a
+   calibration pass sizing a batch at ~min_time/8, then batches until
+   both bounds are met, reporting the fastest per-batch rate. Timing
+   noise on a busy box is strictly additive (preemption, GC slices,
+   frequency dips all make a batch slower, never faster), so the min
+   is the stable estimator of the clean-machine rate — a mean or even
+   a median over one run lets a load episode inflate a µs-scale row
+   past the 25% regression gate. Coarser than Bechamel's OLS but
+   robust for the multi-second union/verify runs at n = 2000. *)
 let time_ns ?(min_time = 0.2) ?(min_reps = 3) f =
   ignore (Sys.opaque_identity (f ()));
-  let reps = ref 0 in
+  let slot = min_time /. 8.0 in
+  let batch = ref 0 in
   let t0 = now () in
-  let rec go () =
+  while now () -. t0 < slot || !batch = 0 do
     ignore (Sys.opaque_identity (f ()));
-    incr reps;
-    if now () -. t0 < min_time || !reps < min_reps then go ()
+    incr batch
+  done;
+  let batch = !batch in
+  let rate () =
+    let t0 = now () in
+    for _ = 1 to batch do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (now () -. t0) *. 1e9 /. float_of_int batch
   in
-  go ();
-  (now () -. t0) *. 1e9 /. float_of_int !reps
+  let best = ref (rate ()) and n = ref 1 in
+  let t1 = now () in
+  while now () -. t1 < min_time || !n < min_reps do
+    best := Float.min !best (rate ());
+    incr n
+  done;
+  !best
 
 let human ns =
   if ns < 1e3 then Printf.sprintf "%.0f ns" ns
@@ -81,7 +100,46 @@ let bench_size rows ~n =
   in
   add_repair "repair/delta1" 1;
   add_repair "repair/delta-n100" (n / 100);
-  add_repair "repair/delta-n10" (n / 10)
+  add_repair "repair/delta-n10" (n / 10);
+  (* Observability self-overhead: the same instrumented hot path with
+     the registry off and on. check_bench.py --max-overhead gates the
+     on/off ratio (sharded counters and log-bucketed histograms should
+     cost well under 5%). The two sides are timed ALTERNATING within
+     one block — timing them as two separate time_ns blocks lets
+     clock/GC drift between the blocks masquerade as overhead (easily
+     ±10% at 3 reps of a 70ms op, swamping the real 1-3% signal). *)
+  let module Obs = Rs_obs.Obs in
+  let f_off () = ignore (Sys.opaque_identity (Remote_spanner.exact_distance g)) in
+  let f_on () =
+    Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_enabled false;
+        Obs.reset ())
+      (fun () -> ignore (Sys.opaque_identity (Remote_spanner.exact_distance g)))
+  in
+  f_off ();
+  f_on ();
+  let off_ts = ref [] and on_ts = ref [] and reps = ref 0 in
+  let t_start = now () in
+  while now () -. t_start < 0.8 || !reps < 8 do
+    let t0 = now () in
+    f_off ();
+    let t1 = now () in
+    f_on ();
+    off_ts := (t1 -. t0) :: !off_ts;
+    on_ts := (now () -. t1) :: !on_ts;
+    incr reps
+  done;
+  (* Report the per-side minimum: the alternation above gives both
+     sides equal exposure to any load episode, and the min of dozens
+     of reps is each side's clean-window rate (timing noise only adds
+     time). A mean or median of either side can read a spurious ±5% —
+     swamping the real 1-3% instrumentation cost — when contention
+     spans several consecutive reps. *)
+  let best ts = List.fold_left Float.min Float.infinity ts *. 1e9 in
+  rows := (tag "obs/exact-off", best !off_ts) :: !rows;
+  rows := (tag "obs/exact-on", best !on_ts) :: !rows
 
 let () =
   let quick = Array.exists (( = ) "quick") Sys.argv in

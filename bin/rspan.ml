@@ -31,26 +31,86 @@ let read_graph path =
 (* ------------------------------------------------------------------ *)
 (* --stats[=FILE]: global observability switch, dumped at exit *)
 
-let obs_setup dest =
-  match dest with
-  | None -> ()
-  | Some dest ->
-      Obs.set_enabled true;
+let obs_dump_json path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string ~pretty:true (Obs.to_json ()));
+        output_char oc '\n')
+  with Sys_error msg -> Printf.eprintf "rspan: cannot write stats: %s\n" msg
+
+(* --stats-every runs a ticker domain that appends one JSONL registry
+   delta per period (and a final delta at exit). Only the ticker writes
+   to the channel; at_exit joins it before closing, so the lines never
+   interleave. *)
+let obs_periodic path period =
+  if period <= 0.0 then begin
+    prerr_endline "rspan: --stats-every must be positive";
+    exit 124
+  end;
+  match open_out path with
+  | exception Sys_error msg ->
+      Printf.eprintf "rspan: cannot write stats: %s\n" msg;
+      exit 124
+  | oc ->
+      let stop = Atomic.make false in
+      let ticker =
+        Domain.spawn (fun () ->
+            let prev = ref None in
+            let tick () =
+              let next = Obs.snapshot () in
+              output_string oc (Json.to_string (Obs.delta_json ?prev:!prev next));
+              output_char oc '\n';
+              flush oc;
+              prev := Some next
+            in
+            (* sleep in short slices so exit is prompt *)
+            let rec loop slept =
+              if not (Atomic.get stop) then
+                if slept >= period then begin
+                  tick ();
+                  loop 0.0
+                end
+                else begin
+                  let d = Float.min 0.05 (period -. slept) in
+                  Unix.sleepf d;
+                  loop (slept +. d)
+                end
+            in
+            loop 0.0;
+            tick ())
+      in
       at_exit (fun () ->
-          match dest with
-          | "-" -> prerr_string (Obs.to_table ())
-          | path -> (
-              try
-                let oc = open_out path in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () ->
-                    output_string oc (Json.to_string ~pretty:true (Obs.to_json ()));
-                    output_char oc '\n')
-              with Sys_error msg -> Printf.eprintf "rspan: cannot write stats: %s\n" msg))
+          Atomic.set stop true;
+          Domain.join ticker;
+          close_out_noerr oc)
+
+let obs_setup dest every =
+  match dest with
+  | None ->
+      if every <> None then begin
+        prerr_endline "rspan: --stats-every requires --stats=FILE";
+        exit 124
+      end
+  | Some dest -> (
+      Obs.set_enabled true;
+      match every with
+      | Some period ->
+          if dest = "-" then begin
+            prerr_endline "rspan: --stats-every requires --stats=FILE, not '-'";
+            exit 124
+          end;
+          obs_periodic dest period
+      | None ->
+          at_exit (fun () ->
+              match dest with
+              | "-" -> prerr_string (Obs.to_table ())
+              | path -> obs_dump_json path))
 
 let obs_term =
-  let arg =
+  let stats =
     Arg.(
       value
       & opt ~vopt:(Some "-") (some string) None
@@ -59,7 +119,30 @@ let obs_term =
             "Enable in-library metrics; on exit print a human-readable table to \
              stderr, or write JSON to $(docv) when given.")
   in
-  Term.(const obs_setup $ arg)
+  let every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stats-every" ] ~docv:"SECS"
+          ~doc:
+            "With --stats=$(i,FILE): instead of one dump at exit, append a JSONL \
+             registry delta (changed counters/gauges/histograms) every $(docv) \
+             seconds, plus a final delta at exit.")
+  in
+  Term.(const obs_setup $ stats $ every)
+
+(* One-line latency digest for the dynamic-repair layer, printed by heal
+   and churn when --stats is active and at least one repair ran. *)
+let repair_latency_summary () =
+  if Obs.enabled () then begin
+    let h = Obs.histogram "repair/latency" in
+    let n = Obs.histogram_count h in
+    if n > 0 then
+      Logs.app (fun m ->
+          m "repair/latency: count=%d p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms"
+            n (Obs.quantile h 0.5) (Obs.quantile h 0.9) (Obs.quantile h 0.99)
+            (Obs.histogram_max h))
+  end
 
 (* The positional GRAPH argument is a plain filename loaded inside each
    command so a malformed or missing file yields a one-line diagnostic
@@ -197,7 +280,17 @@ let build_cmd =
 (* profile *)
 
 let profile_cmd =
-  let run () algo eps k seed graph_file output =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("folded", `Folded) ]) `Json
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: json (full metrics registry) or folded \
+             (semicolon-joined call stacks with self time in microseconds, \
+             ready for flamegraph.pl or speedscope).")
+  in
+  let run () algo eps k seed format graph_file output =
     with_graph graph_file @@ fun g ->
     catch_io @@ fun () ->
     (* full instrumentation regardless of --stats; JSON to stdout (or
@@ -212,9 +305,11 @@ let profile_cmd =
       (float_of_int (Edge_set.cardinal h));
     Obs.set_gauge (Obs.gauge "profile/graph_n") (float_of_int (Graph.n g));
     Obs.set_gauge (Obs.gauge "profile/graph_m") (float_of_int (Graph.m g));
-    emit output (Json.to_string ~pretty:true (Obs.to_json ()) ^ "\n");
-    (* stdout carries only the JSON (pipeable into schema checks);
-       the human summary goes to stderr *)
+    (match format with
+    | `Json -> emit output (Json.to_string ~pretty:true (Obs.to_json ()) ^ "\n")
+    | `Folded -> emit output (Obs.folded ()));
+    (* stdout carries only the JSON or folded stacks (pipeable into
+       schema checks / flamegraph.pl); the human summary goes to stderr *)
     prerr_string (Obs.to_table ());
     Printf.eprintf "profiled build: %d of %d edges in %.1f ms\n" (Edge_set.cardinal h)
       (Graph.m g) (1e3 *. dt);
@@ -223,14 +318,76 @@ let profile_cmd =
   let term =
     Term.(
       term_result
-        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ seed_arg $ graph_arg 0
-       $ output_arg))
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ seed_arg $ format
+       $ graph_arg 0 $ output_arg))
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Build a spanner under full instrumentation and emit the JSON metrics \
-          registry (stdout, or -o FILE); spans, counters and histograms included.")
+          registry or a folded-stack profile (stdout, or -o FILE); spans, \
+          counters and histograms included.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* top *)
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval (seconds).")
+  in
+  let repeat =
+    Arg.(value & opt int 10
+         & info [ "repeat" ] ~docv:"N" ~doc:"Number of instrumented builds the background workload performs.")
+  in
+  let run () algo eps k seed interval repeat graph_file =
+    with_graph graph_file @@ fun g ->
+    if interval <= 0.0 then Error (`Msg "top: --interval must be positive")
+    else if repeat < 1 then Error (`Msg "top: --repeat must be >= 1")
+    else begin
+      Obs.set_enabled true;
+      Obs.reset ();
+      let done_flag = Atomic.make false in
+      let worker =
+        (* workload in its own domain; its metrics land in that domain's
+           shard and the live view merges them on every frame *)
+        Domain.spawn (fun () ->
+            Fun.protect ~finally:(fun () -> Atomic.set done_flag true)
+            @@ fun () ->
+            for _ = 1 to repeat do
+              ignore (Obs.with_span "top/build" (fun () -> build_algo algo ~eps ~k ~seed g))
+            done)
+      in
+      let ansi = Unix.isatty Unix.stdout in
+      let frame = ref 0 in
+      let print_frame tag =
+        incr frame;
+        if ansi then print_string "\027[2J\027[H";
+        Printf.printf "rspan top — frame %d (%s), interval %gs\n%s%!" !frame tag
+          interval (Obs.to_table ())
+      in
+      while not (Atomic.get done_flag) do
+        print_frame "live";
+        Unix.sleepf interval
+      done;
+      (* join re-raises any workload exception *)
+      Domain.join worker;
+      print_frame "final";
+      Ok ()
+    end
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ seed_arg $ interval
+       $ repeat $ graph_arg 0))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run an instrumented build workload in a background domain and \
+          re-render the live metrics registry (counters, quantiles, profile \
+          tree) every --interval seconds until it finishes.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -764,6 +921,7 @@ let churn_cmd =
                  Printf.sprintf "  repair mismatches %d" r.C.repair_mismatches
                else "")))
       reports;
+    repair_latency_summary ();
     let mismatches =
       List.fold_left (fun acc r -> acc + r.C.repair_mismatches) 0 reports
     in
@@ -873,6 +1031,7 @@ let heal_cmd =
                     m "healed: n=%d m=%d, spanner %d edges, %d of %d trees recomputed"
                       (Graph.n g') (Graph.m g') (Edge_set.cardinal h) total_rebuilt
                       (Graph.n g'));
+                repair_latency_summary ();
                 let write () =
                   catch_io (fun () ->
                       emit output (Graph_io.to_string (Edge_set.to_graph h));
@@ -922,7 +1081,7 @@ let () =
   let info = Cmd.info "rspan" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ gen_cmd; build_cmd; profile_cmd; sim_cmd; periodic_cmd; verify_cmd; stats_cmd;
-        route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd ]
+      [ gen_cmd; build_cmd; profile_cmd; top_cmd; sim_cmd; periodic_cmd; verify_cmd;
+        stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd ]
   in
   exit (Cmd.eval group)

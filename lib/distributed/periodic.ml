@@ -10,6 +10,7 @@ let c_expirations = Obs.counter "periodic/expirations"
 let c_crashes = Obs.counter "fault/crashes"
 let c_recoveries = Obs.counter "fault/recoveries"
 let h_convergence_lag = Obs.histogram "periodic/convergence_lag"
+let h_round_messages = Obs.histogram "periodic/round_messages"
 
 type event = { at : int; add : (int * int) list; remove : (int * int) list }
 
@@ -345,6 +346,7 @@ let simulate ?trace ?faults ?expiry ?incremental ~initial ~events ~period ~radiu
           if tracing then
             emit [ ("ev", Json.String "incremental_mismatch"); ("round", Json.Int t) ]
         end);
+    Obs.observe h_round_messages (float_of_int (!messages - messages_before));
     if tracing then
       emit
         [

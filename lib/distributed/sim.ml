@@ -38,6 +38,7 @@ type ('state, 'msg) protocol = {
 let c_rounds = Obs.counter "sim/rounds"
 let c_messages = Obs.counter "sim/messages"
 let h_round_messages = Obs.histogram "sim/round_messages"
+let h_round_payload = Obs.histogram "sim/round_payload"
 let c_crashes = Obs.counter "fault/crashes"
 let c_recoveries = Obs.counter "fault/recoveries"
 
@@ -234,6 +235,7 @@ let run ?trace ?faults g proto ~max_rounds =
     Obs.incr c_rounds;
     Obs.add c_messages !round_messages;
     Obs.observe h_round_messages (float_of_int !round_messages);
+    Obs.observe h_round_payload (float_of_int !round_payload);
     if tracing then
       emit
         [

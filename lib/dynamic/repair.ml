@@ -291,7 +291,8 @@ let apply ?dirty_radius st delta =
         let r_used = Option.value dirty_radius ~default:r_spec in
         let r_check = max r_used r_spec in
         let depth =
-          seed_depths st ~old_g:st.g ~new_g:g' ~seeds ~radius:r_check
+          Obs.with_span "dirty_set" (fun () ->
+              seed_depths st ~old_g:st.g ~new_g:g' ~seeds ~radius:r_check)
         in
         let dirty = ref [] and fringe = ref [] in
         for v = n - 1 downto 0 do
@@ -303,6 +304,7 @@ let apply ?dirty_radius st delta =
         let changed = Hashtbl.create 64 in
         let recomputed = Array.make n false in
         let rebuild us =
+          Obs.with_span "rebuild" @@ fun () ->
           List.iter
             (fun u ->
               if not recomputed.(u) then begin
@@ -314,6 +316,7 @@ let apply ?dirty_radius st delta =
         rebuild dirty;
         let escalations = ref 0 in
         let gates_pass () =
+          Obs.with_span "gates" @@ fun () ->
           gate_edges_exist st g'
           &&
           let h_adj =

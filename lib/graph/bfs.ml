@@ -5,11 +5,15 @@ let no_radius = max_int
    (not per dequeue) keeps the disabled path free. *)
 let c_runs = Rs_obs.Obs.counter "bfs/runs"
 let c_expansions = Rs_obs.Obs.counter "bfs/expansions"
+let h_visited = Rs_obs.Obs.histogram "bfs/visited"
 
 let record_traversal expanded =
   if Rs_obs.Obs.enabled () then begin
     Rs_obs.Obs.incr c_runs;
-    Rs_obs.Obs.add c_expansions expanded
+    Rs_obs.Obs.add c_expansions expanded;
+    (* per-traversal reach distribution: p50/p99 of how much of the
+       graph each BFS actually touches *)
+    Rs_obs.Obs.observe h_visited (float_of_int expanded)
   end
 
 module Marks = struct

@@ -28,10 +28,21 @@ let escape buf s =
 
 let float_repr f =
   if not (Float.is_finite f) then "null"
+  else if f = 0.0 then
+    (* negative zero must keep a decimal point: "-0" would re-parse as
+       Int 0 and lose the sign bit *)
+    if Float.sign_bit f then "-0.0" else "0"
   else begin
-    (* shortest representation that still round-trips *)
-    let s = Printf.sprintf "%.12g" f in
-    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    (* shortest %g representation that round-trips to the exact same
+       float — "%.17g" always does, but most values need far fewer
+       digits (0.1 prints as "0.1", not "0.1000000000000000055...") *)
+    let rec shortest p =
+      if p >= 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else shortest (p + 1)
+    in
+    shortest 1
   end
 
 let to_string ?(pretty = false) v =

@@ -18,7 +18,12 @@ type t =
 
 val to_string : ?pretty:bool -> t -> string
 (** Serialize. [~pretty:true] indents objects and lists by two spaces.
-    Non-finite floats are emitted as [null] (JSON has no NaN). *)
+    Finite floats print as the shortest [%g] form that parses back to
+    the exact same float (up to ["%.17g"]), so printing never loses
+    precision — even at [Float.max_float] scale. Non-finite floats are
+    emitted as [null] (JSON has no NaN). Integral floats may print
+    without ["."]/["e"] and therefore re-parse as [Int]; {!equal}
+    treats that as equal. *)
 
 val parse : string -> (t, string) result
 (** Parse a complete JSON document; trailing garbage is an error.

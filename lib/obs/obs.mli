@@ -1,22 +1,29 @@
-(** Metrics registry: counters, gauges, histograms and nested spans.
+(** Scale-ready metrics registry: domain-sharded counters and quantile
+    histograms, gauges, and a continuous profile of nested spans.
 
     The paper's headline claims are resource claims (constant rounds,
     [O(eps^-(p+1) n)] edges, counts within [2(1+log Delta)] of
     optimal); this module lets the library observe them from the
-    inside instead of post-hoc through the bench harness.
+    inside instead of post-hoc through the bench harness — and stays
+    cheap when many OCaml 5 domains hammer the same metric.
 
-    Everything hangs off one process-global registry. Instrumentation
-    is {e disabled by default}: every mutation first reads a single
-    atomic flag and returns immediately when it is off, so hot paths
-    (BFS inner loops, the parallel runtime) pay one load + branch per
-    call site. Handles are registered eagerly (cheap) and are stable
-    across {!reset}.
+    {b Sharding.} Counters and histograms keep one cell per domain
+    that ever touches them, reached through a single [Domain.DLS]
+    lookup; the hot-path mutation is a plain unshared write — no CAS,
+    no mutex, no cross-core cache-line ping-pong. Readers ({!counter_value},
+    {!quantile}, {!to_json}, …) merge the cells lazily under the
+    registry mutex. While writer domains are live a merged read may be
+    slightly stale (plain word-sized fields cannot tear); once the
+    writers are joined, merged totals are exact. Per-domain cell slabs
+    are recycled when a domain exits, so memory is bounded by the peak
+    number of {e concurrent} domains.
 
-    Thread-safety: counters and gauges are atomics; histograms carry
-    their own mutex; span aggregates are guarded by the registry
-    mutex; the span {e stack} is domain-local, so spans opened in
-    different domains nest independently. All of it can be touched
-    concurrently from OCaml 5 domains (the [Parallel] module does). *)
+    {b Cost model.} Instrumentation is {e disabled by default}: every
+    mutation first reads a single atomic flag and returns immediately
+    when it is off. Enabled, a counter bump is a DLS lookup plus one
+    add; a histogram observation additionally takes one [log]. The
+    obs-enabled hot path is gated in CI to within 5% of the
+    obs-disabled one (bench/hotpath.ml [obs/*] rows). *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -28,11 +35,13 @@ type counter
 
 val counter : string -> counter
 (** Find-or-register by name. Names are slash-separated paths, e.g.
-    ["bfs/expansions"]. *)
+    ["bfs/expansions"]. Handles are stable across {!reset}. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
+
 val counter_value : counter -> int
+(** Merged over every domain's cell. *)
 
 (** {1 Gauges} — last-write-wins instantaneous values (edge counts). *)
 
@@ -42,9 +51,13 @@ val gauge : string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
-(** {1 Histograms} — distributions (candidate-set sizes, per-domain
-    wall time). Buckets are powers of two over the observed value;
-    count/sum/min/max are exact. *)
+(** {1 Histograms} — distributions with quantiles.
+
+    Count/sum/min/max are exact. Positive observations are bucketed
+    log-uniformly (DDSketch-style, base [1.04]), so any quantile is
+    answered within [(gamma-1)/(gamma+1) < 2%] relative error; zero
+    and negative observations occupy a dedicated bucket rendered with
+    [le = 0]. *)
 
 type histogram
 
@@ -53,31 +66,90 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
-(** {1 Spans} — wall-clock timed scopes with nesting. A span opened
-    inside another is recorded under the joined path ("a/b"), giving a
-    flat profile of the call tree. *)
+val histogram_min : histogram -> float
+val histogram_max : histogram -> float
+(** Exact observed extremes; [0.0] when empty. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) of
+    everything observed so far, within 2% relative error, clamped to
+    the exact [min, max] envelope. [0.0] when empty. *)
+
+(** {1 Spans} — the continuous profile.
+
+    [with_span] maintains a {e call tree}: a span opened inside
+    another becomes a child node, and each node accumulates
+    [(count, total, max)] wall time plus GC deltas (minor/major
+    allocated words and compactions, sampled on top-level spans where
+    the [Gc.quick_stat] cost amortizes). The open-span stack and the
+    tree being written are domain-local, so span entry/exit takes no
+    lock; {!profile} merges every domain's forest by node name. *)
 
 val with_span : string -> (unit -> 'a) -> 'a
-(** Time [f] and record (count, total, max) under the current domain's
-    span path. When disabled this is exactly [f ()]. Exceptions
-    propagate; the span still closes. *)
+(** Time [f] as a child of the innermost open span on this domain.
+    When disabled this is exactly [f ()]. Exceptions propagate; the
+    span still closes, and the pop restores the exact pre-push stack,
+    so a raise can never leak a stack entry — even from a nested
+    span. *)
 
 val span_stats : string -> (int * float) option
-(** [(count, total_seconds)] recorded under a full span path. *)
+(** [(count, total_seconds)] recorded under a slash-joined span path
+    (e.g. ["distributed/run_with/collect"]), merged over domains. *)
+
+type profile_node = {
+  p_name : string;
+  p_count : int;
+  p_total_s : float;
+  p_self_s : float;  (** total minus children's totals, clamped at 0 *)
+  p_max_s : float;
+  p_minor_words : float;
+  p_major_words : float;
+  p_compactions : int;
+  p_children : profile_node list;
+}
+
+val profile : unit -> profile_node list
+(** The merged call forest, children sorted by name. *)
+
+val folded : unit -> string
+(** The profile as folded stacks — one line per node,
+    ["root;child;leaf <self time in microseconds>"] — directly
+    consumable by flamegraph.pl and speedscope. *)
 
 (** {1 Registry} *)
 
 val reset : unit -> unit
-(** Zero every metric (handles stay valid); drop span aggregates. *)
+(** Zero every metric (handles stay valid); drop the profile. Call
+    while metric writers are quiescent. *)
 
 val to_json : unit -> Json.t
-(** Snapshot: [{"counters": {..}, "gauges": {..}, "histograms": {..},
-    "spans": {..}}]. Histograms are
-    [{"count", "sum", "min", "max", "buckets": [{"le", "count"}..]}];
-    spans are [{"count", "total_s", "max_s"}]. *)
+(** Snapshot: [{"version": 2, "counters": {..}, "gauges": {..},
+    "histograms": {..}, "spans": {..}, "profile": [..]}]. Histograms
+    are [{"count", "sum", "min", "max", "p50", "p90", "p99",
+    "buckets": [{"le", "count"}..]}]; spans are the backward-compatible
+    flat [{"count", "total_s", "max_s"}] paths; profile nodes are
+    [{"name", "count", "total_s", "self_s", "max_s",
+    "gc": {"minor_words", "major_words", "compactions"},
+    "children": [..]}]. *)
 
 val to_table : unit -> string
-(** Human-readable fixed-width dump of the same snapshot. *)
+(** Human-readable dump: counters, gauges, histograms (with p50/p99)
+    and the indented profile tree. *)
+
+(** {1 Periodic snapshots} — JSONL registry deltas for offline rate
+    computation ([rspan ... --stats-every]). *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Capture counter values, gauge values and histogram (count, sum)
+    moments, with a timestamp. *)
+
+val delta_json : ?prev:snapshot -> snapshot -> Json.t
+(** One JSONL record: [{"ts", "dt", "counters": {name: delta},
+    "gauges": {name: value}, "histograms": {name: {"count": delta,
+    "sum": delta}}}], listing only entries that changed since [prev]
+    (all non-zero entries when [prev] is omitted). *)
 
 val now : unit -> float
 (** The clock used for spans (seconds; [Unix.gettimeofday]). Exposed

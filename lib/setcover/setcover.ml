@@ -1,5 +1,12 @@
 type instance = { universe : int; sets : int array array }
 
+(* The lazy-greedy solver sits inside every dominating-tree layer, so
+   its instance sizes and pick counts are the per-layer shape of
+   Algorithm 1's set-cover universe. One enabled-check per solve. *)
+let c_instances = Rs_obs.Obs.counter "setcover/instances"
+let c_picks = Rs_obs.Obs.counter "setcover/picks"
+let h_universe = Rs_obs.Obs.histogram "setcover/universe"
+
 let validate inst =
   Array.iter
     (Array.iter (fun e ->
@@ -52,6 +59,10 @@ let residual_stamped sets demand seen gen set_id =
 let greedy_with_demand inst demand =
   let nsets = Array.length inst.sets in
   let total = ref (Array.fold_left ( + ) 0 demand) in
+  if Rs_obs.Obs.enabled () then begin
+    Rs_obs.Obs.incr c_instances;
+    Rs_obs.Obs.observe h_universe (float_of_int inst.universe)
+  end;
   if nsets = 0 || !total = 0 then []
   else begin
     let seen = Array.make (max 1 inst.universe) 0 in
@@ -94,6 +105,7 @@ let greedy_with_demand inst demand =
           let s_star = List.fold_left min max_int vs in
           bucket.(c) <- List.filter (fun s -> s <> s_star) vs;
           picks := s_star :: !picks;
+          Rs_obs.Obs.incr c_picks;
           incr gen;
           let stamp = !gen in
           Array.iter

@@ -4,24 +4,37 @@
 Usage:
   validate_metrics.py [--expect COUNTER]... [--require-histogram NAME]... FILE...
   validate_metrics.py --trace [--expect EV]... FILE [FILE...]
+  validate_metrics.py --folded FILE [FILE...]
+  validate_metrics.py --max-overhead PCT BENCH.json
 
 Default mode checks an `Obs.to_json ()` metrics registry against the
 schema documented in docs/OBSERVABILITY.md: top-level keys, value
-types, histogram structure (bucket counts sum to the histogram count),
-and that a profile run recorded at least one span, counter and
-histogram observation. `--require-histogram NAME` additionally demands
-that histogram NAME exists and has observations, and `--expect COUNTER`
-that counter COUNTER exists with a positive value.
+types, histogram structure (bucket counts sum to the histogram count,
+min <= p50 <= p90 <= p99 <= max in version 2), the profile call tree
+(self time bounded by total time, recursively), and that a profile run
+recorded at least one span, counter and histogram observation.
+`--require-histogram NAME` additionally demands that histogram NAME
+exists and has observations, and `--expect COUNTER` that counter
+COUNTER exists with a positive value.
 
 `--trace` mode instead validates a JSONL event trace (one object per
 line, discriminated by "ev") against the per-event field schemas —
 including the fault-injection events drop/dup/crash/recover.
 `--expect EV` demands at least one event of kind EV.
 
+`--folded` mode validates a folded-stack profile (`rspan profile
+--format folded`): every line must be `frame(;frame)* <int>` — the
+format flamegraph.pl and speedscope consume.
+
+`--max-overhead PCT` mode reads a BENCH_hotpath.json and fails if any
+`obs/<x>-on/<size>` row is more than PCT percent slower than its
+`obs/<x>-off/<size>` twin: the observability self-overhead gate.
+
 Exits non-zero with a message on the first violation.
 """
 import argparse
 import json
+import re
 import sys
 
 NUM = (int, float)
@@ -31,17 +44,55 @@ def fail(path, msg):
     sys.exit(f"{path}: schema violation: {msg}")
 
 
+def validate_profile_node(path, node, where):
+    if not isinstance(node, dict):
+        fail(path, f"profile node {where} is not an object")
+    if not isinstance(node.get("name"), str) or not node["name"]:
+        fail(path, f"profile node {where} has a bad name: {node.get('name')!r}")
+    name = f"{where}/{node['name']}"
+    if not isinstance(node.get("count"), int) or node["count"] < 1:
+        fail(path, f"profile node {name!r} has no observations")
+    for key in ("total_s", "self_s", "max_s"):
+        if not isinstance(node.get(key), NUM) or node[key] < 0:
+            fail(path, f"profile node {name!r} field {key!r} bad: {node.get(key)!r}")
+    if node["self_s"] > node["total_s"] + 1e-9:
+        fail(path, f"profile node {name!r} self_s exceeds total_s")
+    if node["max_s"] > node["total_s"] + 1e-9:
+        fail(path, f"profile node {name!r} max_s exceeds total_s")
+    gc = node.get("gc")
+    if not isinstance(gc, dict):
+        fail(path, f"profile node {name!r} missing gc object")
+    for key in ("minor_words", "major_words"):
+        if not isinstance(gc.get(key), NUM) or gc[key] < 0:
+            fail(path, f"profile node {name!r} gc field {key!r} bad: {gc.get(key)!r}")
+    if not isinstance(gc.get("compactions"), int) or gc["compactions"] < 0:
+        fail(path, f"profile node {name!r} gc compactions bad: {gc.get('compactions')!r}")
+    if not isinstance(node.get("children"), list):
+        fail(path, f"profile node {name!r} children is not a list")
+    for child in node["children"]:
+        validate_profile_node(path, child, name)
+    return 1 + sum(count_profile_nodes(c) for c in node["children"])
+
+
+def count_profile_nodes(node):
+    return 1 + sum(count_profile_nodes(c) for c in node.get("children", []))
+
+
 def validate_registry(path, require_histograms=(), require_counters=()):
     with open(path) as f:
         doc = json.load(f)
 
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
-    for key in ("version", "counters", "gauges", "histograms", "spans"):
+    version = doc.get("version")
+    if version not in (1, 2):
+        fail(path, f"unknown version {version!r}")
+    keys = ["version", "counters", "gauges", "histograms", "spans"]
+    if version >= 2:
+        keys.append("profile")
+    for key in keys:
         if key not in doc:
             fail(path, f"missing top-level key {key!r}")
-    if doc["version"] != 1:
-        fail(path, f"unknown version {doc['version']!r}")
 
     for name, v in doc["counters"].items():
         if not isinstance(v, int) or v < 0:
@@ -51,8 +102,11 @@ def validate_registry(path, require_histograms=(), require_counters=()):
             fail(path, f"gauge {name!r} is not a number: {v!r}")
 
     for name, h in doc["histograms"].items():
-        for key, typ in (("count", int), ("sum", NUM), ("min", NUM),
-                         ("max", NUM), ("buckets", list)):
+        fields = [("count", int), ("sum", NUM), ("min", NUM),
+                  ("max", NUM), ("buckets", list)]
+        if version >= 2:
+            fields += [("p50", NUM), ("p90", NUM), ("p99", NUM)]
+        for key, typ in fields:
             if not isinstance(h.get(key), typ):
                 fail(path, f"histogram {name!r} field {key!r} bad: {h.get(key)!r}")
         prev_le = None
@@ -68,6 +122,20 @@ def validate_registry(path, require_histograms=(), require_counters=()):
             fail(path, f"histogram {name!r} bucket counts {total} != count {h['count']}")
         if h["count"] > 0 and h["min"] > h["max"]:
             fail(path, f"histogram {name!r} min > max")
+        if version >= 2 and h["count"] > 0:
+            tol = 1e-9
+            if not (h["min"] - tol <= h["p50"] <= h["p90"] <= h["p99"]
+                    <= h["max"] + tol):
+                fail(path, f"histogram {name!r} quantiles not ordered within "
+                           f"[min, max]: p50={h['p50']} p90={h['p90']} "
+                           f"p99={h['p99']} min={h['min']} max={h['max']}")
+
+    profile_nodes = 0
+    if version >= 2:
+        if not isinstance(doc["profile"], list):
+            fail(path, "profile is not a list")
+        for node in doc["profile"]:
+            profile_nodes += validate_profile_node(path, node, "")
 
     for name, s in doc["spans"].items():
         if not isinstance(s.get("count"), int) or s["count"] < 1:
@@ -101,7 +169,8 @@ def validate_registry(path, require_histograms=(), require_counters=()):
             fail(path, f"required counter {name!r} never incremented")
 
     print(f"{path}: ok ({len(doc['counters'])} counters, "
-          f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans)")
+          f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans, "
+          f"{profile_nodes} profile nodes)")
 
 
 # Per-event required fields for JSONL traces (docs/OBSERVABILITY.md).
@@ -176,11 +245,65 @@ def validate_trace(path, expect=()):
     print(f"{path}: ok ({sum(seen.values())} events: {summary})")
 
 
+FOLDED_RE = re.compile(r"^[^; ]+(?:;[^; ]+)* \d+$")
+
+
+def validate_folded(path):
+    stacks = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if not FOLDED_RE.match(line):
+                fail(path, f"line {lineno}: not a folded stack "
+                           f"('frame(;frame)* <int>'): {line!r}")
+            stacks += 1
+    if stacks == 0:
+        fail(path, "empty folded profile")
+    print(f"{path}: ok ({stacks} folded stacks)")
+
+
+def check_overhead(path, max_pct):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not all(
+        isinstance(v, NUM) for v in doc.values()
+    ):
+        fail(path, "expected a flat object of numeric ns/op values")
+    pairs = [(on, on.replace("-on/", "-off/"))
+             for on in sorted(doc)
+             if on.startswith("obs/") and "-on/" in on
+             and on.replace("-on/", "-off/") in doc]
+    if not pairs:
+        fail(path, "no obs/<x>-on / obs/<x>-off benchmark pairs found")
+    over = []
+    for on, off in pairs:
+        pct = (doc[on] - doc[off]) / doc[off] * 100.0
+        flag = " <-- OVER BUDGET" if pct > max_pct else ""
+        print(f"{on}: {doc[on]:.0f} ns vs {off}: {doc[off]:.0f} ns "
+              f"({pct:+.2f}%){flag}")
+        if pct > max_pct:
+            over.append((on, pct))
+    if over:
+        names = ", ".join(f"{n} ({p:+.2f}%)" for n, p in over)
+        sys.exit(f"{path}: observability overhead beyond {max_pct:g}%: {names}")
+    print(f"{path}: ok ({len(pairs)} pair(s) within the {max_pct:g}% "
+          f"overhead budget)")
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="Validate rspan metrics registries or JSONL traces.")
+        description="Validate rspan metrics registries, JSONL traces, "
+                    "folded-stack profiles, or benchmark overhead pairs.")
     ap.add_argument("--trace", action="store_true",
                     help="treat FILEs as JSONL event traces")
+    ap.add_argument("--folded", action="store_true",
+                    help="treat FILEs as folded-stack profiles")
+    ap.add_argument("--max-overhead", type=float, default=None, metavar="PCT",
+                    help="treat FILEs as BENCH_hotpath.json and fail if any "
+                         "obs/<x>-on row exceeds its obs/<x>-off twin by more "
+                         "than PCT percent")
     ap.add_argument("--expect", action="append", default=[], metavar="NAME",
                     help="trace mode: require at least one event of kind NAME; "
                          "registry mode: require counter NAME to be positive")
@@ -190,7 +313,11 @@ def main():
                          "with observations")
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
-    if args.require_histogram and args.trace:
+    modes = sum(bool(m) for m in
+                (args.trace, args.folded, args.max_overhead is not None))
+    if modes > 1:
+        ap.error("--trace, --folded and --max-overhead are mutually exclusive")
+    if args.require_histogram and modes:
         ap.error("--require-histogram only applies to registry mode")
     if args.trace:
         for ev in args.expect:
@@ -200,6 +327,10 @@ def main():
     for p in args.files:
         if args.trace:
             validate_trace(p, expect=args.expect)
+        elif args.folded:
+            validate_folded(p)
+        elif args.max_overhead is not None:
+            check_overhead(p, args.max_overhead)
         else:
             validate_registry(p, require_histograms=args.require_histogram,
                               require_counters=args.expect)

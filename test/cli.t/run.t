@@ -53,3 +53,39 @@ Families and error handling.
   $ rspan verify --alpha 1 --beta 0 g.txt missing.txt
   rspan: missing.txt: No such file or directory
   [124]
+
+Continuous profiling: --format folded emits semicolon-joined call
+stacks (one line per call-tree node, self time in microseconds) ready
+for flamegraph.pl or speedscope. Frame names are deterministic.
+
+  $ rspan profile --algo exact --format folded g.txt -o p.folded 2>/dev/null
+  $ cut -d' ' -f1 p.folded | sort
+  profile
+  profile;build/exact_distance
+
+With --stats active, heal prints a one-line repair-latency quantile
+digest (values are wall-clock, so only the shape is stable), and the
+registry lands in the JSON file.
+
+  $ cat > flap.txt <<EOF
+  > remove 0 2
+  > add 0 2
+  > EOF
+  $ rspan heal --algo exact --deltas flap.txt --step --stats=heal_metrics.json g.txt -o healed.txt | sed 's/=[0-9.]*ms/=Xms/g'
+  delta 0: dirty=24 rebuilt=24 escalations=0 level=local edges_changed=2
+  delta 1: dirty=24 rebuilt=24 escalations=0 level=local edges_changed=2
+  healed: n=60 m=322, spanner 170 edges, 48 of 60 trees recomputed
+  repair/latency: count=2 p50=Xms p90=Xms p99=Xms max=Xms
+  equivalence: healed spanner = from-scratch build
+  verified: (1, 0)-remote-spanner
+  $ grep -c '"p99"' heal_metrics.json > /dev/null && echo has-quantiles
+  has-quantiles
+
+So does churn when maintaining advertisements by incremental repair.
+
+  $ rspan churn -n 20 --steps 6 --refresh 3 --seed 2 --incremental --stats=churn_metrics.json | sed 's/=[0-9.]*ms/=Xms/g'
+  full LS      delivery 100.0%  stretch 1.010  advertised 41  repair mismatches 0
+  (1,0)-RS     delivery 100.0%  stretch 1.010  advertised 29  repair mismatches 0
+  (1.5,0)-RS   delivery 100.0%  stretch 1.010  advertised 34  repair mismatches 0
+  2conn-RS     delivery 100.0%  stretch 1.010  advertised 40  repair mismatches 0
+  repair/latency: count=3 p50=Xms p90=Xms p99=Xms max=Xms

@@ -114,3 +114,17 @@ the from-scratch rebuild.
   healed: n=9 m=11, spanner 10 edges, 8 of 9 trees recomputed
   equivalence: healed spanner = from-scratch build
   verified: (1, 0)-remote-spanner
+
+--stats-every needs a JSONL destination: a file, not the stderr table.
+
+  $ rspan stats --stats-every 0.5 g.txt > /dev/null
+  rspan: --stats-every requires --stats=FILE
+  [124]
+
+  $ rspan stats --stats --stats-every 0.5 g.txt > /dev/null
+  rspan: --stats-every requires --stats=FILE, not '-'
+  [124]
+
+  $ rspan stats --stats=m.jsonl --stats-every 0 g.txt > /dev/null
+  rspan: --stats-every must be positive
+  [124]

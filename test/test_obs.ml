@@ -199,6 +199,196 @@ let prop_parallel_metrics_match =
       let par = snapshot () in
       Edge_set.cardinal h_seq = Edge_set.cardinal h_par && seq = par)
 
+(* ------------------------------------------------------------------ *)
+(* quantiles *)
+
+let test_quantile_accuracy () =
+  let h = Obs.histogram "test/quant" in
+  for v = 1 to 1000 do
+    Obs.observe h (float_of_int v)
+  done;
+  (* log-bucketed sketch: <= 2% relative error, clamped to [min, max] *)
+  let within q expect =
+    let got = Obs.quantile h q in
+    let err = Float.abs (got -. expect) /. expect in
+    if err > 0.02 then
+      Alcotest.failf "p%.0f = %g, want %g +- 2%% (err %.3f%%)" (100. *. q) got
+        expect (100. *. err)
+  in
+  within 0.5 500.0;
+  within 0.9 900.0;
+  within 0.99 990.0;
+  check_float "p0 clamps to min" 1.0 (Obs.quantile h 0.0);
+  check_float "p100 clamps to max" 1000.0 (Obs.quantile h 1.0);
+  check_float "histogram_min" 1.0 (Obs.histogram_min h);
+  check_float "histogram_max" 1000.0 (Obs.histogram_max h)
+
+let test_quantile_zero_and_negative () =
+  let h = Obs.histogram "test/quant_zero" in
+  List.iter (Obs.observe h) [ 0.0; 0.0; 0.0; 5.0 ];
+  (* three of four observations land in the zero bucket *)
+  check_float "p50 in the zero bucket" 0.0 (Obs.quantile h 0.5);
+  check_float "p100 reaches max" 5.0 (Obs.quantile h 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* domain-sharded exactness *)
+
+let test_multidomain_counters () =
+  let c = Obs.counter "test/md_counter" in
+  let h = Obs.histogram "test/md_hist" in
+  let n_domains = 4 and per_domain = 25_000 in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.incr c;
+              Obs.observe h 2.0
+            done))
+  in
+  List.iter Domain.join domains;
+  (* plain per-domain writes, exact after join: no increment lost *)
+  check_int "counter total exact" (n_domains * per_domain) (Obs.counter_value c);
+  check_int "histogram count exact" (n_domains * per_domain)
+    (Obs.histogram_count h);
+  check_float "histogram sum exact"
+    (2.0 *. float_of_int (n_domains * per_domain))
+    (Obs.histogram_sum h)
+
+let test_multidomain_trace_interleaving () =
+  let buf = Buffer.create 4096 in
+  let sink = Trace.to_buffer buf in
+  let n_domains = 4 and per_domain = 500 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Trace.emit sink
+                [ ("ev", Json.String "stress"); ("domain", Json.Int d);
+                  ("i", Json.Int i) ]
+            done))
+  in
+  List.iter Domain.join domains;
+  Trace.close sink;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "no line lost or torn" (n_domains * per_domain) (List.length lines);
+  List.iter
+    (fun l ->
+      match Json.parse l with
+      | Ok (Json.Obj _) -> ()
+      | Ok _ -> Alcotest.failf "line is not an object: %s" l
+      | Error e -> Alcotest.failf "line is not standalone JSON (%s): %s" e l)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* span stack discipline and the profile tree *)
+
+let test_span_exception_restores_stack () =
+  (* an exception inside a nested span must pop exactly the spans it
+     pushed: the sibling opened afterwards is a child of "a", not of
+     the span that blew up *)
+  Obs.with_span "a" (fun () ->
+      (try
+         Obs.with_span "b" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Obs.with_span "c" (fun () -> ()));
+  let has n = Obs.span_stats n <> None in
+  check "a recorded" true (has "a");
+  check "a/b recorded" true (has "a/b");
+  check "c is a sibling of b under a" true (has "a/c");
+  check "c did not nest under the failed b" false (has "a/b/c")
+
+let test_profile_tree () =
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner" (fun () -> ignore (Sys.opaque_identity (ref 0)));
+      Obs.with_span "inner" (fun () -> ()));
+  let forest = Obs.profile () in
+  let outer =
+    match List.find_opt (fun n -> n.Obs.p_name = "outer") forest with
+    | Some n -> n
+    | None -> Alcotest.fail "no 'outer' root in profile forest"
+  in
+  check_int "outer ran once" 1 outer.Obs.p_count;
+  let inner =
+    match outer.Obs.p_children with
+    | [ n ] -> n
+    | l -> Alcotest.failf "expected one child of outer, got %d" (List.length l)
+  in
+  check_int "inner ran twice" 2 inner.Obs.p_count;
+  check "child total bounded by parent total" true
+    (inner.Obs.p_total_s <= outer.Obs.p_total_s +. 1e-9);
+  check "self = total - children" true
+    (Float.abs (outer.Obs.p_self_s -. (outer.Obs.p_total_s -. inner.Obs.p_total_s))
+     < 1e-9);
+  (* folded export: every line is "frame(;frame)* <int>" *)
+  let folded = Obs.folded () in
+  let lines =
+    String.split_on_char '\n' folded |> List.filter (fun l -> l <> "")
+  in
+  check "folded is non-empty" true (lines <> []);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.failf "folded line has no sample count: %s" l
+      | Some i ->
+          let stack = String.sub l 0 i in
+          let count = String.sub l (i + 1) (String.length l - i - 1) in
+          check "stack non-empty" true (stack <> "");
+          (match int_of_string_opt count with
+          | Some n -> check "count non-negative" true (n >= 0)
+          | None -> Alcotest.failf "folded count not an int: %s" l))
+    lines;
+  check "folded contains the nested stack" true
+    (List.exists
+       (fun l -> String.length l >= 11 && String.sub l 0 11 = "outer;inner")
+       lines)
+
+(* ------------------------------------------------------------------ *)
+(* snapshots and JSONL deltas *)
+
+let test_snapshot_delta () =
+  let c = Obs.counter "test/delta_c" in
+  let c2 = Obs.counter "test/delta_quiet" in
+  let h = Obs.histogram "test/delta_h" in
+  Obs.incr c2;
+  let s0 = Obs.snapshot () in
+  Obs.add c 5;
+  Obs.observe h 3.0;
+  Obs.observe h 4.0;
+  let s1 = Obs.snapshot () in
+  let d = Obs.delta_json ~prev:s0 s1 in
+  let counters = Option.get (Json.member "counters" d) in
+  (match Json.member "test/delta_c" counters with
+  | Some (Json.Int 5) -> ()
+  | j -> Alcotest.failf "delta_c delta wrong: %s"
+           (match j with Some j -> Json.to_string j | None -> "absent"));
+  check "unchanged counter omitted from delta" true
+    (Json.member "test/delta_quiet" counters = None);
+  let hists = Option.get (Json.member "histograms" d) in
+  (match Json.member "test/delta_h" hists with
+  | Some hd ->
+      check "hist delta count" true (Json.member "count" hd = Some (Json.Int 2))
+  | None -> Alcotest.fail "histogram delta missing")
+
+(* ------------------------------------------------------------------ *)
+(* exact float round-trip through the JSON printer *)
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"JSON float printing round-trips exactly"
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      let s = Json.to_string (Json.Float f) in
+      match Json.parse s with
+      | Ok (Json.Float f') -> Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+      | Ok (Json.Int i) ->
+          (* integral floats print without a dot and re-parse as Int;
+             the value must still be bit-exact *)
+          Int64.equal (Int64.bits_of_float f)
+            (Int64.bits_of_float (float_of_int i))
+      | Ok _ | Error _ -> false)
+
 let () =
   Alcotest.run "obs"
     [
@@ -208,19 +398,34 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick (with_obs test_disabled_is_noop);
           Alcotest.test_case "gauge last-write-wins" `Quick (with_obs test_gauge);
           Alcotest.test_case "histogram arithmetic" `Quick (with_obs test_histogram_arithmetic);
+          Alcotest.test_case "quantile accuracy <=2%" `Quick (with_obs test_quantile_accuracy);
+          Alcotest.test_case "quantile zero bucket" `Quick (with_obs test_quantile_zero_and_negative);
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "multi-domain counters exact" `Quick (with_obs test_multidomain_counters);
+          Alcotest.test_case "multi-domain trace lines standalone" `Quick
+            (with_obs test_multidomain_trace_interleaving);
         ] );
       ( "spans",
         [
           Alcotest.test_case "nesting joins paths" `Quick (with_obs test_span_nesting);
           Alcotest.test_case "closes on exception" `Quick (with_obs test_span_closes_on_exception);
+          Alcotest.test_case "exception restores span stack" `Quick
+            (with_obs test_span_exception_restores_stack);
+          Alcotest.test_case "profile tree and folded export" `Quick (with_obs test_profile_tree);
         ] );
       ( "json",
         [
           Alcotest.test_case "registry round-trip" `Quick (with_obs test_json_roundtrip);
           Alcotest.test_case "parser strictness" `Quick (with_obs test_json_parser_strictness);
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
         ] );
       ( "registry",
-        [ Alcotest.test_case "reset keeps handles" `Quick (with_obs test_reset_keeps_handles) ] );
+        [
+          Alcotest.test_case "reset keeps handles" `Quick (with_obs test_reset_keeps_handles);
+          Alcotest.test_case "snapshot deltas" `Quick (with_obs test_snapshot_delta);
+        ] );
       ( "trace",
         [ Alcotest.test_case "buffer sink" `Quick (with_obs test_trace_buffer) ] );
       ( "parallel",
