@@ -101,6 +101,17 @@ let bench_size rows ~n =
   add_repair "repair/delta1" 1;
   add_repair "repair/delta-n100" (n / 100);
   add_repair "repair/delta-n10" (n / 10);
+  (* Durable-store load fast path: parsing the text format (split,
+     int_of_string, sort inside Graph.make) against decoding the
+     binary snapshot (CRC + Graph.of_canonical's O(n+m) fill). The
+     snapshot here carries the graph only, so the two rows load the
+     same information; check_bench.py gates the ratio staying >= 10x
+     at n = 2000 via --min-ratio. *)
+  let module Snapshot = Rs_store.Snapshot in
+  let text = Graph_io.to_string g in
+  let snap = Snapshot.to_string { Snapshot.seq = 0; graph = g; spanners = [] } in
+  add "store/load-text" (fun () -> Graph_io.of_string text);
+  add "store/load-snap" (fun () -> Snapshot.of_string snap);
   (* Observability self-overhead: the same instrumented hot path with
      the registry off and on. check_bench.py --max-overhead gates the
      on/off ratio (sharded counters and log-bucketed histograms should

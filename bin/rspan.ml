@@ -12,6 +12,10 @@
      rspan sim --radius 2 --trace t.jsonl g.txt
      rspan route --src 0 --dst 42 g.txt h.txt
      rspan dot g.txt h.txt -o g.dot
+     rspan snapshot store/ --init g.txt --algo exact
+     rspan heal --algo exact --deltas d.txt --wal store/ g.txt
+     rspan recover store/ -o recovered.txt
+     rspan crashtest --seed 7 crash-scratch/
 
    Every command accepts --stats[=FILE] to enable the metrics registry
    and dump it on exit (human table to stderr, or JSON to FILE). *)
@@ -868,6 +872,40 @@ let render_cmd =
   Cmd.v (Cmd.info "render" ~doc:"ASCII-render a geometric graph (and optionally a spanner).") term
 
 (* ------------------------------------------------------------------ *)
+(* durable store: flags shared by heal / churn / snapshot / recover *)
+
+module Wal = Rs_store.Wal
+module Store = Rs_store.Store
+
+let policy_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Wal.policy_of_string s) in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Wal.policy_to_string p))
+
+let fsync_arg =
+  Arg.(
+    value
+    & opt policy_conv Wal.Always
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:"WAL durability: $(b,always) (fsync every append), $(b,every:N), or $(b,never).")
+
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Durable store directory: snapshot the initial state and append every \
+           applied topology delta to a checksummed write-ahead log under $(docv), \
+           so 'rspan recover' can rebuild the spanner state after a crash.")
+
+(* store-layer failures (existing store, corrupt files, failed recovery
+   verification) exit through the same one-line path as bad graph files *)
+let catch_store f =
+  try f () with
+  | Failure msg | Sys_error msg -> Error (`Msg msg)
+  | Rs_store.Binio.Corrupt msg -> Error (`Msg ("corrupt store: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
 (* churn *)
 
 let churn_cmd =
@@ -885,7 +923,7 @@ let churn_cmd =
                    refresh; every refresh is gated against the rebuild and \
                    the command fails on any divergence.")
   in
-  let run () n seed speed refresh steps side incremental ff =
+  let run () n seed speed refresh steps side incremental wal fsync ff =
     match build_faults ff with
     | Error e -> Error e
     | Ok faults ->
@@ -907,10 +945,33 @@ let churn_cmd =
         C.strategy ~spec:(Repair.Mis_k { k = 2 }) "2conn-RS"
           Remote_spanner.two_connecting ]
     in
-    let reports =
-      C.run ?faults ~incremental (Rand.create (seed + 1)) ~model ~strategies ~steps
-        ~refresh ~pairs_per_step:6
+    (* the durability hook: first refresh creates the store (one
+       maintained state per spec-carrying strategy), later refreshes
+       log the topology diff since the previous one *)
+    let store = ref None in
+    let wal_hook =
+      Option.map
+        (fun dir g ->
+          match !store with
+          | None ->
+              let specs = List.filter_map (fun s -> s.C.spec) strategies in
+              store := Some (Store.create ~policy:fsync ~dir ~specs g)
+          | Some s -> ignore (Store.sync_to s g))
+        wal
     in
+    match
+      catch_store @@ fun () ->
+      Ok
+        (C.run ?faults ?wal:wal_hook ~incremental (Rand.create (seed + 1)) ~model
+           ~strategies ~steps ~refresh ~pairs_per_step:6)
+    with
+    | Error e -> Error e
+    | Ok reports ->
+    Option.iter
+      (fun s ->
+        Logs.app (fun m -> m "wal: %s sealed at seq %d" (Store.dir s) (Store.seq s));
+        Store.close s)
+      !store;
     List.iter
       (fun r ->
         Logs.app (fun m ->
@@ -937,9 +998,14 @@ let churn_cmd =
     Term.(
       term_result
         (const run $ obs_term $ n $ seed $ speed $ refresh $ steps $ side $ incremental
-       $ fault_term))
+       $ wal_arg $ fsync_arg $ fault_term))
   in
-  Cmd.v (Cmd.info "churn" ~doc:"Routing-under-mobility comparison of advertised sub-graphs.") term
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Routing-under-mobility comparison of advertised sub-graphs; --wal logs \
+          the refresh-boundary topology deltas to a durable store.")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* heal *)
@@ -998,8 +1064,12 @@ let heal_cmd =
             "Skip the final from-scratch equivalence and (alpha,beta) stretch \
              checks; report repair cost only.")
   in
-  let run () algo eps k deltas_file step no_verify dirty_radius graph_file output =
+  let run () algo eps k deltas_file step no_verify dirty_radius wal fsync graph_file
+      output =
     with_graph graph_file @@ fun g ->
+    match (wal, dirty_radius) with
+    | Some _, Some _ -> Error (`Msg "--wal cannot be combined with --dirty-radius")
+    | _ -> (
     match repair_spec_of algo ~eps ~k with
     | Error e -> Error e
     | Ok spec -> (
@@ -1010,27 +1080,54 @@ let heal_cmd =
         | Error e -> Error e
         | Ok ops -> (
             let heal () =
-              let st = Repair.init spec g in
               let batches = if step then List.map (fun op -> [ op ]) ops else [ ops ] in
               let total = ref 0 in
-              List.iteri
-                (fun i batch ->
-                  let o = Repair.apply ?dirty_radius st batch in
-                  total := !total + o.Repair.rebuilt;
-                  Logs.app (fun m ->
-                      m "delta %d: %a" i Repair.pp_outcome o))
-                batches;
-              (st, !total)
+              match wal with
+              | None ->
+                  let st = Repair.init spec g in
+                  List.iteri
+                    (fun i batch ->
+                      let o = Repair.apply ?dirty_radius st batch in
+                      total := !total + o.Repair.rebuilt;
+                      Logs.app (fun m ->
+                          m "delta %d: %a" i Repair.pp_outcome o))
+                    batches;
+                  (st, !total, fun () -> ())
+              | Some dir ->
+                  let store = Store.create ~policy:fsync ~dir ~specs:[ spec ] g in
+                  List.iteri
+                    (fun i batch ->
+                      match Store.append store batch with
+                      | [] ->
+                          Logs.app (fun m -> m "delta %d: quiescent (not logged)" i)
+                      | os ->
+                          List.iter
+                            (fun o ->
+                              total := !total + o.Repair.rebuilt;
+                              Logs.app (fun m ->
+                                  m "delta %d: %a" i Repair.pp_outcome o))
+                            os)
+                    batches;
+                  let st = List.assoc spec (Store.states store) in
+                  ( st,
+                    !total,
+                    fun () ->
+                      Logs.app (fun m ->
+                          m "wal: %s sealed at seq %d" (Store.dir store)
+                            (Store.seq store));
+                      Store.close store )
             in
             match heal () with
             | exception Invalid_argument msg -> Error (`Msg (deltas_file ^ ": " ^ msg))
-            | st, total_rebuilt -> (
+            | exception Failure msg -> Error (`Msg msg)
+            | st, total_rebuilt, seal -> (
                 let g' = Repair.graph st in
                 let h = Repair.spanner st in
                 Logs.app (fun m ->
                     m "healed: n=%d m=%d, spanner %d edges, %d of %d trees recomputed"
                       (Graph.n g') (Graph.m g') (Edge_set.cardinal h) total_rebuilt
                       (Graph.n g'));
+                seal ();
                 repair_latency_summary ();
                 let write () =
                   catch_io (fun () ->
@@ -1057,13 +1154,13 @@ let heal_cmd =
                           m "verified: (%g, %g)-remote-spanner" alpha beta);
                       write ()
                   | None -> write ()
-                end)))
+                end))))
   in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ deltas_arg $ step
-       $ no_verify $ dirty_radius $ graph_arg 0 $ output_arg))
+       $ no_verify $ dirty_radius $ wal_arg $ fsync_arg $ graph_arg 0 $ output_arg))
   in
   Cmd.v
     (Cmd.info "heal"
@@ -1071,7 +1168,184 @@ let heal_cmd =
          "Apply a topology delta file to a graph and incrementally repair its \
           remote-spanner (recomputing only dirty nodes' trees), reporting repair \
           cost, escalations and equivalence against a from-scratch rebuild; \
-          -o writes the healed spanner.")
+          -o writes the healed spanner, --wal makes every applied delta durable.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* snapshot *)
+
+let store_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STORE" ~doc:"Durable store directory.")
+
+let snapshot_cmd =
+  let init =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "init" ] ~docv:"GRAPH"
+          ~doc:
+            "Create a fresh store at $(b,STORE) from this graph file (maintaining \
+             the --algo construction) instead of snapshotting an existing one.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "After publishing the snapshot, drop the WAL segments and older \
+             snapshots it subsumes.")
+  in
+  let run () algo eps k dir init compact fsync =
+    match init with
+    | Some graph_file ->
+        with_graph graph_file @@ fun g ->
+        (match repair_spec_of algo ~eps ~k with
+        | Error e -> Error e
+        | Ok spec ->
+            catch_store @@ fun () ->
+            let store = Store.create ~policy:fsync ~dir ~specs:[ spec ] g in
+            Logs.app (fun m ->
+                m "store %s: initialized at seq 0 (n=%d m=%d, fsync %s)" dir
+                  (Graph.n g) (Graph.m g)
+                  (Wal.policy_to_string fsync));
+            Store.close store;
+            Ok ())
+    | None ->
+        catch_store @@ fun () ->
+        let store, r = Store.recover ~policy:fsync ~dir () in
+        let path =
+          if compact then Store.compact store else Store.write_snapshot store
+        in
+        Logs.app (fun m ->
+            m "store %s: %s at seq %d -> %s%s" dir
+              (if compact then "compacted" else "snapshot")
+              (Store.seq store) path
+              (if r.Store.replayed > 0 then
+                 Printf.sprintf " (replayed %d wal records)" r.Store.replayed
+               else ""));
+        Store.close store;
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ store_pos $ init
+       $ compact $ fsync_arg))
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Publish a checksummed binary snapshot of a durable store's current \
+          state (or, with --init, create a fresh store from a graph file); \
+          --compact folds the WAL into the new snapshot.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* recover *)
+
+let recover_cmd =
+  let module Repair = Rs_dynamic.Repair in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip the recovery gate (from-scratch spanner equivalence and the \
+             (alpha,beta) stretch check).")
+  in
+  let spanner_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spanner" ] ~docv:"FILE"
+          ~doc:"Write the first maintained spanner (as a graph file) to $(docv).")
+  in
+  let run () dir no_verify fsync output spanner_out =
+    catch_store @@ fun () ->
+    let store, r = Store.recover ~policy:fsync ~verify:(not no_verify) ~dir () in
+    Logs.app (fun m -> m "%a" Store.pp_recovery r);
+    if not no_verify then
+      Logs.app (fun m ->
+          m "verified: every recovered spanner = from-scratch build");
+    let write () =
+      catch_io @@ fun () ->
+      Option.iter
+        (fun path ->
+          emit (Some path) (Graph_io.to_string (Store.graph store)))
+        output;
+      match spanner_out with
+      | None -> Ok ()
+      | Some path -> (
+          match Store.states store with
+          | [] -> Error (`Msg "store maintains no spanner state")
+          | (_, st) :: _ ->
+              emit (Some path)
+                (Graph_io.to_string (Edge_set.to_graph (Repair.spanner st)));
+              Ok ())
+    in
+    let res = write () in
+    Store.close store;
+    res
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ store_pos $ no_verify $ fsync_arg $ output_arg
+       $ spanner_out))
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild live spanner state from a (possibly crash-damaged) durable \
+          store: newest intact snapshot plus WAL replay, truncating the log at \
+          the first torn or corrupt record, then gate the result against a \
+          from-scratch rebuild; -o writes the recovered graph.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* crashtest *)
+
+let crashtest_cmd =
+  let module Crash = Rs_store.Crash in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let n =
+    Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Vertex count of the base graph.")
+  in
+  let batches =
+    Arg.(
+      value & opt int 12
+      & info [ "batches" ] ~docv:"B" ~doc:"Random delta batches appended before crashing.")
+  in
+  let sites =
+    Arg.(
+      value & opt int 4
+      & info [ "sites" ] ~docv:"K"
+          ~doc:"Random cut points per torn-write family (WAL tails, snapshot truncations).")
+  in
+  let run () seed n batches sites dir =
+    catch_store @@ fun () ->
+    let report = Crash.run ~seed ~n ~batches ~sites ~dir () in
+    Logs.app (fun m -> m "%a" Crash.pp_report report);
+    if Crash.ok report then Ok ()
+    else Error (`Msg "crash injection uncovered recovery failures")
+  in
+  let term =
+    Term.(
+      term_result (const run $ obs_term $ seed $ n $ batches $ sites $ store_pos))
+  in
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:
+         "Seeded crash-point injection: build a durable store under churn, damage \
+          copies of it at every interesting byte/record/rename boundary, and \
+          demand that recovery reaches the exact pre-crash state or a verified \
+          prefix — never a corrupt graph. Failing case directories are kept \
+          under $(b,STORE) for inspection.")
     term
 
 let () =
@@ -1082,6 +1356,7 @@ let () =
   let group =
     Cmd.group info
       [ gen_cmd; build_cmd; profile_cmd; top_cmd; sim_cmd; periodic_cmd; verify_cmd;
-        stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd ]
+        stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd;
+        snapshot_cmd; recover_cmd; crashtest_cmd ]
   in
   exit (Cmd.eval group)

@@ -167,3 +167,18 @@ let pp_op fmt = function
   | Node_up (u, links) ->
       Format.fprintf fmt "up %d%t" u (fun fmt ->
           List.iter (fun v -> Format.fprintf fmt " %d" v) links)
+
+let to_string ops =
+  let buf = Buffer.create (16 * (1 + List.length ops)) in
+  List.iter
+    (fun op ->
+      (match op with
+      | Add_edge (u, v) -> Buffer.add_string buf (Printf.sprintf "add %d %d" u v)
+      | Remove_edge (u, v) -> Buffer.add_string buf (Printf.sprintf "remove %d %d" u v)
+      | Node_down u -> Buffer.add_string buf (Printf.sprintf "down %d" u)
+      | Node_up (u, links) ->
+          Buffer.add_string buf (Printf.sprintf "up %d" u);
+          List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) links);
+      Buffer.add_char buf '\n')
+    ops;
+  Buffer.contents buf

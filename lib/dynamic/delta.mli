@@ -60,6 +60,13 @@ val touched : added:(int * int) list -> removed:(int * int) list -> int list
 val parse : string -> t
 (** Raises [Failure] naming the offending line on malformed input. *)
 
+val to_string : t -> string
+(** The delta in the file format above, one op per line. Left inverse
+    of {!parse}: [parse (to_string d) = d] for every delta whose
+    [Node_up] links are non-empty (the only shape [parse] can produce;
+    asserted by a QCheck round-trip property). This text is also the
+    payload the [Rs_store] write-ahead log records carry. *)
+
 val load : string -> t
 (** [parse] over a file's contents. Raises [Sys_error] on I/O
     failure. *)

@@ -162,6 +162,47 @@ let init spec g =
 
 let build spec g = spanner (init spec g)
 
+let export_trees st = Array.copy st.tree_edges
+
+let restore spec g ~trees =
+  let n = Graph.n g in
+  if Array.length trees <> n then
+    failwith
+      (Printf.sprintf "Repair.restore: %d stored trees for a %d-vertex graph"
+         (Array.length trees) n);
+  let st =
+    {
+      spec;
+      g;
+      tree_edges = Array.make n [];
+      counts = Hashtbl.create (4 * n);
+      scratch = Bfs.Scratch.create ();
+      verify_scratch = Bfs.Scratch.create ();
+      spanner = Edge_set.create g;
+    }
+  in
+  let changed = Hashtbl.create 16 in
+  Array.iteri
+    (fun u edges ->
+      List.iter
+        (fun (p, c) ->
+          if not (Graph.mem_edge g p c) then
+            failwith
+              (Printf.sprintf
+                 "Repair.restore: tree %d edge (%d,%d) absent from the graph" u p c))
+        edges;
+      (* replay through [Tree.add_edge] so a structurally bogus list
+         (orphan child, conflicting parents) is rejected here, not
+         discovered as a corrupt spanner later *)
+      (try ignore (stored_tree ~n u edges)
+       with Invalid_argument msg ->
+         failwith (Printf.sprintf "Repair.restore: tree %d malformed: %s" u msg));
+      st.tree_edges.(u) <- edges;
+      List.iter (incr_pair st changed) edges)
+    trees;
+  st.spanner <- materialize st g;
+  st
+
 (* ------------------------------------------------------------------ *)
 (* apply *)
 

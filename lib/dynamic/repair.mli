@@ -83,6 +83,21 @@ val tree_edges : t -> int -> (int * int) list
 (** [(parent, child)] edges of the maintained tree of one root,
     shallow-first. *)
 
+val export_trees : t -> (int * int) list array
+(** Per-root [(parent, child)] tree edge lists, shallow-first — the
+    exact state a durable snapshot must persist for {!restore} to
+    resurrect this value without rerunning any construction. The
+    returned array is fresh; the lists are shared but immutable. *)
+
+val restore : spec -> Graph.t -> trees:(int * int) list array -> t
+(** Rebuild maintained state from stored per-root trees: refcounts and
+    the spanner edge set are rederived, {e no} BFS or tree construction
+    runs — this is what makes crash recovery from a snapshot fast.
+    Validates that every stored edge exists in [g] and that each list
+    replays into a well-formed rooted tree; raises [Failure] with a
+    one-line diagnostic otherwise. [restore spec g ~trees:(export_trees
+    st)] is equivalent to [st] whenever [g] equals [graph st]. *)
+
 type level =
   | Local  (** dirty set only — the fast path *)
   | Widened  (** escalated once: 2-hop closure of the dirty set *)

@@ -19,30 +19,12 @@ let cmp_edge (u1, v1) (u2, v2) =
   let c = Int.compare u1 u2 in
   if c <> 0 then c else Int.compare v1 v2
 
-let build n edge_list =
-  List.iter
-    (fun (u, v) ->
-      if u < 0 || u >= n || v < 0 || v >= n then
-        invalid_arg (Printf.sprintf "Graph.make: endpoint out of range (%d,%d)" u v);
-      if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u))
-    edge_list;
-  (* canonicalize, sort lexicographically, drop duplicates *)
-  let raw = Array.of_list (List.map (fun (u, v) -> canonical u v) edge_list) in
-  Array.sort cmp_edge raw;
-  let m =
-    let count = ref 0 in
-    Array.iteri (fun i e -> if i = 0 || cmp_edge raw.(i - 1) e <> 0 then incr count) raw;
-    !count
-  in
-  let edges = Array.make m (0, 0) in
-  let j = ref 0 in
-  Array.iteri
-    (fun i e ->
-      if i = 0 || cmp_edge raw.(i - 1) e <> 0 then begin
-        edges.(!j) <- e;
-        incr j
-      end)
-    raw;
+(* CSR fill from an owned, canonical ([u < v]), lex-sorted, duplicate-free
+   edge array. Shared by the generic [build] path (which sorts and
+   dedups first) and [of_canonical] (whose input is validated to
+   already be in this form, so a binary snapshot load pays no sort). *)
+let fill_csr n edges =
+  let m = Array.length edges in
   let deg = Array.make n 0 in
   Array.iter
     (fun (u, v) ->
@@ -93,11 +75,55 @@ let build n edge_list =
   let adj = Array.init n (fun u -> Array.sub nbr off.(u) deg.(u)) in
   { n; off; nbr; nbr_eid; adj; edges }
 
+let build n edge_list =
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.make: endpoint out of range (%d,%d)" u v);
+      if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u))
+    edge_list;
+  (* canonicalize, sort lexicographically, drop duplicates *)
+  let raw = Array.of_list (List.map (fun (u, v) -> canonical u v) edge_list) in
+  Array.sort cmp_edge raw;
+  let m =
+    let count = ref 0 in
+    Array.iteri (fun i e -> if i = 0 || cmp_edge raw.(i - 1) e <> 0 then incr count) raw;
+    !count
+  in
+  let edges = Array.make m (0, 0) in
+  let j = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if i = 0 || cmp_edge raw.(i - 1) e <> 0 then begin
+        edges.(!j) <- e;
+        incr j
+      end)
+    raw;
+  fill_csr n edges
+
 let make ~n edges =
   if n < 0 then invalid_arg "Graph.make: negative n";
   build n edges
 
 let of_arrays ~n edges = make ~n (Array.to_list edges)
+
+let of_canonical ~n edges =
+  if n < 0 then invalid_arg "Graph.of_canonical: negative n";
+  let m = Array.length edges in
+  for i = 0 to m - 1 do
+    let u, v = edges.(i) in
+    if u < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.of_canonical: endpoint out of range (%d,%d)" u v);
+    if u >= v then
+      invalid_arg (Printf.sprintf "Graph.of_canonical: edge (%d,%d) not canonical" u v);
+    if i > 0 && cmp_edge edges.(i - 1) (u, v) >= 0 then
+      invalid_arg
+        (Printf.sprintf "Graph.of_canonical: edges not strictly sorted at (%d,%d)" u v)
+  done;
+  (* [u < v < n] plus strict lex order is the full [make] contract:
+     in-range, no self-loops, no duplicates — one O(m) pass instead of
+     a sort, which is what makes the binary snapshot load fast. *)
+  fill_csr n (Array.copy edges)
 
 let n g = g.n
 let m g = Array.length g.edges

@@ -5,14 +5,16 @@ let to_string g =
   Buffer.contents buf
 
 let of_string s =
+  (* numbered meaningful lines: 1-based position in the raw input, so
+     every diagnostic can name the offending line *)
   let lines =
     String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
   | [] -> failwith "Graph_io.of_string: empty input"
-  | header :: rest ->
+  | (_, header) :: rest ->
       let n, m =
         match String.split_on_char ' ' header |> List.filter (( <> ) "") with
         | [ a; b ] -> (
@@ -20,16 +22,43 @@ let of_string s =
             with _ -> failwith "Graph_io.of_string: bad header")
         | _ -> failwith "Graph_io.of_string: bad header"
       in
-      let parse_edge l =
+      let parse_edge (ln, l) =
         match String.split_on_char ' ' l |> List.filter (( <> ) "") with
         | [ a; b ] -> (
-            try (int_of_string a, int_of_string b)
+            try (ln, (int_of_string a, int_of_string b))
             with _ -> failwith ("Graph_io.of_string: bad edge line: " ^ l))
         | _ -> failwith ("Graph_io.of_string: bad edge line: " ^ l)
       in
       let edges = List.map parse_edge rest in
-      if List.length edges <> m then failwith "Graph_io.of_string: edge count mismatch";
-      Graph.make ~n edges
+      (match List.nth_opt edges m with
+      | Some (ln, _) ->
+          failwith
+            (Printf.sprintf
+               "Graph_io.of_string: trailing garbage: edge line %d exceeds the \
+                declared m=%d" ln m)
+      | None -> ());
+      let found = List.length edges in
+      if found <> m then
+        failwith
+          (Printf.sprintf
+             "Graph_io.of_string: edge count mismatch: header declares m=%d, \
+              found %d" m found);
+      (* a duplicate (in either orientation) would be silently merged by
+         [Graph.make], leaving a graph with fewer edges than the header
+         promised — reject it instead *)
+      let seen = Hashtbl.create (2 * m) in
+      List.iter
+        (fun (ln, (u, v)) ->
+          let key = if u <= v then (u, v) else (v, u) in
+          match Hashtbl.find_opt seen key with
+          | Some first ->
+              failwith
+                (Printf.sprintf
+                   "Graph_io.of_string: duplicate edge %d %d (line %d repeats \
+                    line %d)" u v ln first)
+          | None -> Hashtbl.replace seen key ln)
+        edges;
+      Graph.make ~n (List.map snd edges)
 
 let save path g =
   let oc = open_out path in

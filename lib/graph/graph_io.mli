@@ -5,7 +5,11 @@
 
 val to_string : Graph.t -> string
 val of_string : string -> Graph.t
-(** Raises [Failure] on malformed input. *)
+(** Raises [Failure] with a one-line, line-numbered diagnostic on
+    malformed input — including edge lines beyond the declared [m]
+    (trailing garbage) and duplicate edges in either orientation
+    (which [Graph.make] would otherwise silently merge, leaving fewer
+    edges than the header promised). *)
 
 val save : string -> Graph.t -> unit
 val load : string -> Graph.t

@@ -173,7 +173,7 @@ let refresh_state ~n ~incremental g st =
   st.advertised_sum <- st.advertised_sum + List.length pairs;
   st.refreshes <- st.refreshes + 1
 
-let run ?faults ?(incremental = false) rand ~model ~strategies ~steps ~refresh
+let run ?faults ?(incremental = false) ?wal rand ~model ~strategies ~steps ~refresh
     ~pairs_per_step =
   if refresh < 1 || steps < 1 then invalid_arg "Churn_eval.run: steps, refresh >= 1";
   let fault = Option.map Fault.start faults in
@@ -202,7 +202,13 @@ let run ?faults ?(incremental = false) rand ~model ~strategies ~steps ~refresh
     | Some p -> link_changes := !link_changes + count_flips p g
     | None -> ());
     prev_graph := Some g;
-    if t mod refresh = 0 then List.iter (refresh_state ~n ~incremental g) states;
+    if t mod refresh = 0 then begin
+      (* one graph-level notification per refresh — the durability hook
+         (rspan churn --wal) logs the topology delta since the last
+         refresh, shared across strategies *)
+      Option.iter (fun f -> f g) wal;
+      List.iter (refresh_state ~n ~incremental g) states
+    end;
     (* shared random pairs for a paired comparison *)
     let d0 = Bfs.dist g 0 in
     ignore d0;

@@ -49,6 +49,7 @@ type report = {
 val run :
   ?faults:Rs_distributed.Fault.plan ->
   ?incremental:bool ->
+  ?wal:(Rs_graph.Graph.t -> unit) ->
   Rs_graph.Rand.t ->
   model:Waypoint.t ->
   strategies:strategy list ->
@@ -75,6 +76,13 @@ val run :
     [repair_mismatches] and the from-scratch H is advertised, so
     routing figures are never silently corrupted by a bad repair.
     Strategies without a spec are unaffected.
+
+    [?wal] is the durability hook: it is called once per refresh step
+    with the then-current topology, {e before} the strategies refresh
+    their advertisements — [rspan churn --wal] points it at an
+    [Rs_store] store so the refresh-boundary topology deltas land in a
+    write-ahead log and a crashed evaluator's spanner state is
+    recoverable. Strategies and routing are unaffected.
 
     [?faults] composes the E18 staleness study with link-level
     adversity: each forwarded hop at step [t] can be lost with the

@@ -1,0 +1,90 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let w_u8 buf v =
+  if v < 0 || v > 0xFF then invalid_arg "Binio.w_u8: out of range";
+  Buffer.add_char buf (Char.chr v)
+
+let w_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Binio.w_u32: out of range";
+  Buffer.add_int32_le buf (Int32.of_int v)
+
+let w_i32 buf v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Binio.w_i32: out of range";
+  Buffer.add_int32_le buf (Int32.of_int v)
+
+let w_u64 buf v =
+  if v < 0 then invalid_arg "Binio.w_u64: negative";
+  Buffer.add_int64_le buf (Int64.of_int v)
+
+type reader = { s : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?limit s =
+  let limit = match limit with Some l -> l | None -> String.length s in
+  if pos < 0 || limit > String.length s || pos > limit then
+    invalid_arg "Binio.reader: slice out of range";
+  { s; pos; limit }
+
+let pos r = r.pos
+let remaining r = r.limit - r.pos
+
+let need r k what = if r.limit - r.pos < k then corrupt "truncated %s at byte %d" what r.pos
+
+let r_u8 r =
+  need r 1 "u8";
+  let v = Char.code (String.unsafe_get r.s r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+(* Composed from bytes rather than [String.get_int32_le]: the boxed
+   [Int32] the stdlib reader allocates per call is the dominant cost
+   when decoding a snapshot's m edge pairs (the store/load-snap bench
+   row), and plain int arithmetic never leaves registers. *)
+let r_u32 r =
+  need r 4 "u32";
+  let s = r.s and p = r.pos in
+  let b i = Char.code (String.unsafe_get s (p + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  r.pos <- p + 4;
+  v
+
+let r_i32 r =
+  let v = r_u32 r in
+  (v lxor 0x80000000) - 0x80000000
+
+let r_u64 r =
+  need r 8 "u64";
+  let v64 = String.get_int64_le r.s r.pos in
+  if Int64.compare v64 0L < 0 then corrupt "u64 at byte %d exceeds the native int range" r.pos;
+  r.pos <- r.pos + 8;
+  Int64.to_int v64
+
+let r_u32_pairs r ~count ~what =
+  if count < 0 then corrupt "%s: negative pair count at byte %d" what r.pos;
+  if count > (r.limit - r.pos) / 8 then corrupt "truncated %s at byte %d" what r.pos;
+  let s = r.s and base = r.pos in
+  (* one bounds check up front, then straight-line byte composition:
+     this is the inner loop of a snapshot's GRAPH section (m edge
+     pairs), where per-element reader overhead would dominate *)
+  let a =
+    Array.init count (fun i ->
+        let p = base + (8 * i) in
+        let b j = Char.code (String.unsafe_get s (p + j)) in
+        ( b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24),
+          b 4 lor (b 5 lsl 8) lor (b 6 lsl 16) lor (b 7 lsl 24) ))
+  in
+  r.pos <- base + (8 * count);
+  a
+
+let r_string r ~len =
+  if len < 0 then corrupt "negative length field at byte %d" r.pos;
+  need r len "bytes";
+  let v = String.sub r.s r.pos len in
+  r.pos <- r.pos + len;
+  v
+
+let expect_end r ~what =
+  if r.pos <> r.limit then
+    corrupt "%s: %d trailing bytes after the last field" what (r.limit - r.pos)

@@ -1,0 +1,47 @@
+(** Little-endian binary primitives shared by the snapshot and WAL
+    codecs: bounds-checked readers over an in-memory byte string, and
+    [Buffer] writers. All multi-byte fields in the on-disk formats go
+    through this module, so "little-endian everywhere" is enforced in
+    one place. *)
+
+exception Corrupt of string
+(** Raised by every reader on a malformed or truncated input — the
+    signal recovery catches to stop at the last valid prefix. *)
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Corrupt} with a formatted message. *)
+
+(** {1 Writers} *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+(** Raises [Invalid_argument] outside [0, 2^32) — a write-side range
+    bug must fail loudly, not wrap silently into the file. *)
+
+val w_i32 : Buffer.t -> int -> unit
+val w_u64 : Buffer.t -> int -> unit
+(** Non-negative 63-bit ints (sequence numbers); raises on negatives. *)
+
+(** {1 Readers} *)
+
+type reader
+(** A cursor over a string slice; every read checks remaining bytes
+    and raises {!Corrupt} rather than reading past the limit. *)
+
+val reader : ?pos:int -> ?limit:int -> string -> reader
+val pos : reader -> int
+val remaining : reader -> int
+val r_u8 : reader -> int
+val r_u32 : reader -> int
+val r_i32 : reader -> int
+val r_u64 : reader -> int
+val r_u32_pairs : reader -> count:int -> what:string -> (int * int) array
+(** [count] little-endian [(u32, u32)] pairs with a single up-front
+    bounds check — the bulk read behind a snapshot's GRAPH section,
+    where per-element reader overhead would dominate the load. *)
+
+val r_string : reader -> len:int -> string
+val expect_end : reader -> what:string -> unit
+(** Raises {!Corrupt} if the reader has bytes left — sections must be
+    consumed exactly, trailing garbage inside a checksummed payload is
+    still a format error. *)

@@ -1,0 +1,80 @@
+(** Versioned binary snapshots of durable spanner state.
+
+    One snapshot captures a sequence number, the full graph, and the
+    per-root dominating trees (plus the resulting spanner edge union)
+    of every maintained strategy. On-disk layout:
+
+    {v
+    "RSNAP001"            8-byte magic
+    u32 version  (= 1)
+    u32 section count
+    section*:  u32 kind | u32 payload length | payload | u32 CRC-32(payload)
+    v}
+
+    Sections (all integers little-endian):
+    - kind 1, {b META}: [u64 seq, u32 n, u32 m, u32 spanner_count] —
+      cross-checked against the other sections, so a snapshot whose
+      sections disagree is rejected as a unit;
+    - kind 2, {b GRAPH}: [u32 n, u32 m], then [m] canonical edge pairs
+      [(u32 u, u32 v)] in strictly ascending lexicographic order —
+      exactly the {!Rs_graph.Graph.of_canonical} contract, which is
+      what makes loading a snapshot an O(n+m) pass with no sort (the
+      >=10x fast path over the text parser, gated in the bench);
+    - kind 3, {b SPANNER} (one per strategy): the
+      {!Rs_dynamic.Repair.spec} (u8 tag + two i32 parameters), then
+      per-root tree edge lists (shallow-first [(parent, child)]
+      pairs), then the spanner edge union as sorted canonical pairs —
+      redundant with the trees by construction, stored so recovery can
+      cross-check the restored refcounts against what was live.
+
+    Unknown section kinds are skipped (checksum still verified), so
+    later format versions can add sections without breaking old
+    readers. Any structural damage — bad magic, unsupported version,
+    checksum mismatch, truncated section, inconsistent counts — raises
+    {!Binio.Corrupt}; recovery treats the file as unusable and falls
+    back to an older snapshot. Encoding is deterministic: equal states
+    produce byte-identical snapshots, which the crash harness asserts
+    for the round-trip gate. *)
+
+open Rs_dynamic
+
+type spanner = {
+  spec : Repair.spec;
+  trees : (int * int) list array;  (** per-root [(parent, child)], shallow-first *)
+  union : (int * int) list;  (** sorted canonical spanner edges *)
+}
+
+type t = {
+  seq : int;  (** every delta with sequence number [<= seq] is folded in *)
+  graph : Rs_graph.Graph.t;
+  spanners : spanner list;
+}
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises {!Binio.Corrupt} on any malformed input. *)
+
+(** {1 Files} *)
+
+val filename : seq:int -> string
+(** [snap-<seq, zero-padded>.rsnap] — name order is seq order. *)
+
+val write : dir:string -> t -> string
+(** Atomic publication: encode, write to a [.tmp] sibling, flush,
+    [fsync], then [rename] into place (and best-effort fsync the
+    directory). A crash at any point leaves either the old directory
+    contents or the complete new file — never a half-written snapshot
+    under the real name. Records [store/snapshots_written] and
+    [store/snapshot_bytes] under a [store/snapshot_write] span.
+    Returns the published path. *)
+
+val read : string -> t
+(** Raises {!Binio.Corrupt} on damage, [Sys_error] on I/O failure. *)
+
+val list_dir : dir:string -> (int * string) list
+(** [(seq, absolute path)] of every snapshot in [dir], ascending by
+    seq. Ignores [.tmp] leftovers (an interrupted {!write}'s residue). *)
+
+val remove_temp : dir:string -> unit
+(** Delete abandoned [.tmp] files — called by recovery so an
+    interrupted write cannot accumulate garbage. *)

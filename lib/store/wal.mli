@@ -1,0 +1,108 @@
+(** Write-ahead log of {!Rs_dynamic.Delta} batches.
+
+    Append-only segment files named [wal-<first-seq>.seg], each a
+    16-byte header (magic ["RSWAL001"], u64 first sequence number)
+    followed by records:
+
+    {v
+    u32  payload length
+    u32  CRC-32 over (u64 seq ++ payload)
+    u64  sequence number
+    ...  payload — the delta in Delta.to_string text form
+    v}
+
+    Sequence numbers are assigned by the store, start at 1 and are
+    contiguous; a segment's records continue exactly where the
+    previous segment's stopped. Recovery scans segments in name order
+    and stops at the first anomaly — a torn record (fewer bytes than
+    the header promises), a checksum mismatch, an unparsable payload,
+    or a sequence gap — reporting the byte offset so the caller can
+    physically truncate the log to its valid prefix. Everything before
+    that point is trustworthy: each record is independently
+    checksummed, so a flipped bit anywhere in the tail cannot corrupt
+    the replayed state, only shorten it.
+
+    Durability is governed by the fsync {!policy}; [rspan]'s
+    [--fsync] flag maps onto it. Appends record [store/wal_appends],
+    [store/wal_bytes], [store/wal_fsyncs] and [store/wal_segments]
+    counters and the [wal/fsync_latency] histogram (milliseconds per
+    fsync) when {!Rs_obs.Obs} is enabled. *)
+
+type policy =
+  | Always  (** fsync after every append — full durability *)
+  | Every of int  (** fsync after every [n] appends ([n >= 1]) *)
+  | Never  (** leave flushing to the OS; crash may lose the tail *)
+
+val policy_of_string : string -> (policy, string) result
+(** ["always"], ["never"], or ["every:N"] with [N >= 1]. *)
+
+val policy_to_string : policy -> string
+
+(** {1 Appending} *)
+
+type writer
+
+val create_writer :
+  ?policy:policy ->
+  ?segment_bytes:int ->
+  dir:string ->
+  next_seq:int ->
+  unit ->
+  writer
+(** Open a fresh segment [wal-<next_seq>.seg] in [dir] (truncating any
+    leftover file of that name — recovery has already established that
+    nothing valid lives at or past [next_seq]). [?policy] defaults to
+    [Always]; [?segment_bytes] (default 1 MiB) is the size past which
+    a segment is sealed and the next one opened. *)
+
+val append : writer -> Rs_dynamic.Delta.t -> int
+(** Append one record, returning its sequence number. Syncs and/or
+    rotates per policy. *)
+
+val next_seq : writer -> int
+
+val sync : writer -> unit
+(** Flush and [fsync] now, regardless of policy. *)
+
+val close_writer : writer -> unit
+(** Flush, fsync (unless the policy is [Never]) and close. *)
+
+(** {1 Scanning (recovery)} *)
+
+type record = {
+  seq : int;
+  delta : Rs_dynamic.Delta.t;
+  file : string;  (** absolute path of the segment holding it *)
+  offset : int;  (** byte offset of the record header in that file *)
+}
+
+type truncation = {
+  t_file : string;
+  t_offset : int;  (** first invalid byte; [0] = whole file invalid *)
+  t_reason : string;
+}
+
+val pp_truncation : Format.formatter -> truncation -> unit
+
+type scan = {
+  records : record list;  (** valid prefix, ascending contiguous seq *)
+  truncation : truncation option;
+      (** where and why the scan stopped early, if it did *)
+}
+
+val scan_dir : dir:string -> after_seq:int -> scan
+(** Read every segment in [dir] in name order, returning the records
+    with [seq > after_seq] (records at or below it are re-validated
+    for checksum and contiguity but not returned — the snapshot
+    already covers them). Never raises on malformed input; damage is
+    reported as [truncation]. *)
+
+val truncate : dir:string -> truncation -> unit
+(** Make the damage physical: truncate the named segment at the
+    reported offset (deleting it outright when nothing but the header
+    — or less — would survive) and delete every later segment. After
+    this, [scan_dir] reports no truncation and a fresh writer can
+    extend the log. *)
+
+val segment_files : dir:string -> (int * string) list
+(** [(first_seq, absolute path)] of every segment in [dir], ascending. *)

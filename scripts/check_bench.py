@@ -22,6 +22,12 @@ for not flaking on every noisy runner.
 its obs/<x>-off/<size> twin WITHIN the current run and fails if the
 instrumented row is more than PCT percent slower: the observability
 self-overhead gate (same machine, same run, so no cross-host noise).
+
+--min-ratio R pairs every store/load-snap/<size> row with its
+store/load-text/<size> twin WITHIN the current run and fails if the
+binary snapshot load is not at least R times faster than the text
+parse: the durable-store fast-path gate (again same-run, so immune
+to cross-host drift).
 """
 import argparse
 import json
@@ -47,6 +53,9 @@ def main():
     ap.add_argument("--max-overhead", type=float, default=None, metavar="PCT",
                     help="allowed obs-on vs obs-off overhead in percent, "
                          "paired within the current run")
+    ap.add_argument("--min-ratio", type=float, default=None, metavar="R",
+                    help="required store/load-text over store/load-snap "
+                         "speed ratio, paired within the current run")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -103,6 +112,29 @@ def main():
                      f"{args.max_overhead:g}%: {names}")
         print(f"observability overhead within {args.max_overhead:g}% "
               f"for {len(pairs)} pair(s)")
+
+    if args.min_ratio is not None:
+        pairs = [(snap, snap.replace("/load-snap", "/load-text"))
+                 for snap in sorted(cur)
+                 if snap.startswith("store/load-snap")
+                 and snap.replace("/load-snap", "/load-text") in cur]
+        if not pairs:
+            sys.exit("--min-ratio: no store/load-snap / store/load-text "
+                     "pairs in the current run")
+        slow = []
+        for snap, text in pairs:
+            ratio = cur[text] / cur[snap] if cur[snap] > 0 else float("inf")
+            flag = "" if ratio >= args.min_ratio else " <-- TOO SLOW"
+            print(f"{snap:<{width}} | {cur[text]:12.0f} | {cur[snap]:12.0f} | "
+                  f"{ratio:6.1f}x{flag}")
+            if ratio < args.min_ratio:
+                slow.append((snap, ratio))
+        if slow:
+            names = ", ".join(f"{n} ({r:.1f}x)" for n, r in slow)
+            sys.exit(f"snapshot load fast path below {args.min_ratio:g}x "
+                     f"over the text parser: {names}")
+        print(f"snapshot load >= {args.min_ratio:g}x faster than text "
+              f"parse for {len(pairs)} pair(s)")
 
 
 if __name__ == "__main__":

@@ -19,7 +19,22 @@ A header whose edge count disagrees with the body:
 
   $ printf '3 2\n0 1\n' > short.txt
   $ rspan stats short.txt
-  rspan: short.txt: Graph_io.of_string: edge count mismatch
+  rspan: short.txt: Graph_io.of_string: edge count mismatch: header declares m=2, found 1
+  [124]
+
+Extra edge lines beyond the declared m (trailing garbage):
+
+  $ printf '2 1\n0 1\n1 0\n' > trail.txt
+  $ rspan stats trail.txt
+  rspan: trail.txt: Graph_io.of_string: trailing garbage: edge line 3 exceeds the declared m=1
+  [124]
+
+A duplicate edge (in either orientation) — Graph.make would silently
+merge it, leaving fewer edges than the header promised:
+
+  $ printf '3 3\n0 1\n1 2\n1 0\n' > dup.txt
+  $ rspan stats dup.txt
+  rspan: dup.txt: Graph_io.of_string: duplicate edge 1 0 (line 4 repeats line 2)
   [124]
 
 An edge referencing a vertex outside the declared range:
@@ -114,6 +129,29 @@ the from-scratch rebuild.
   healed: n=9 m=11, spanner 10 edges, 8 of 9 trees recomputed
   equivalence: healed spanner = from-scratch build
   verified: (1, 0)-remote-spanner
+
+Durable-store misuse must fail the same way. Recovering a directory
+that is not a store:
+
+  $ rspan recover no_such_store
+  rspan: no_such_store: No such file or directory
+  [124]
+
+Initializing a store on top of an existing one (would destroy history):
+
+  $ rspan snapshot wstore --init g.txt
+  store wstore: initialized at seq 0 (n=9 m=12, fsync always)
+  $ rspan snapshot wstore --init g.txt
+  rspan: Store.create: wstore already contains a store (recover it instead)
+  [124]
+
+--wal pins the construction's own locality radius (the WAL invariant
+is per-spec), so the dirty-radius override is rejected:
+
+  $ printf 'add 0 4\n' > one.txt
+  $ rspan heal --deltas one.txt --wal w2 --dirty-radius 1 g.txt
+  rspan: --wal cannot be combined with --dirty-radius
+  [124]
 
 --stats-every needs a JSONL destination: a file, not the stderr table.
 

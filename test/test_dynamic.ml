@@ -230,6 +230,31 @@ let make_prop ?(count = 60) name prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name ~count QCheck2.Gen.(int_range 0 1_000_000) prop)
 
+(* parse/print round trip: any delta [to_string] can emit (Node_up
+   links non-empty — the only shape [parse] produces) survives the
+   text format, which is also the WAL record payload format *)
+let delta_gen =
+  let open QCheck2.Gen in
+  let vertex = int_range 0 500 in
+  let op =
+    oneof
+      [
+        map2 (fun u v -> Delta.Add_edge (u, v)) vertex vertex;
+        map2 (fun u v -> Delta.Remove_edge (u, v)) vertex vertex;
+        map (fun u -> Delta.Node_down u) vertex;
+        map2
+          (fun u links -> Delta.Node_up (u, links))
+          vertex
+          (list_size (int_range 1 5) vertex);
+      ]
+  in
+  list_size (int_range 0 8) op
+
+let prop_parse_print_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parse (to_string d) = d" ~count:300 delta_gen (fun d ->
+         Delta.parse (Delta.to_string d) = d))
+
 (* ---------------------------------------------------------------- *)
 (* Acceptance: 2000-node UDG, single-edge delta -> < 5% of trees
    recomputed, repaired spanner passes Verify with the construction's
@@ -271,7 +296,10 @@ let () =
           Alcotest.test_case "incremental target" `Quick test_incremental_target;
         ] );
       ( "properties",
-        [ make_prop "incremental repair = from-scratch" prop_incremental_equivalence ] );
+        [
+          make_prop "incremental repair = from-scratch" prop_incremental_equivalence;
+          prop_parse_print_roundtrip;
+        ] );
       ( "acceptance",
         [ Alcotest.test_case "2000-node single-edge" `Slow test_acceptance_2000 ] );
     ]
