@@ -1,13 +1,18 @@
 (* Hot-path microbenchmarks gating the CSR / scratch / lazy-greedy /
-   work-stealing overhaul.
+   work-stealing overhaul and the batched/sharded scaling layer.
 
    Usage:
-     dune exec bench/hotpath.exe             full sizes (n = 300, 1000, 2000)
+     dune exec bench/hotpath.exe             n = 300..2000 full rows,
+                                             n = 10^4, 10^5 reduced rows
      dune exec bench/hotpath.exe -- quick    n = 300 only (CI)
+     dune exec bench/hotpath.exe -- scale    n = 10^3..10^5 reduced rows
+                                             (CI scaling-exponent gate)
+     dune exec bench/hotpath.exe -- huge     scale + n = 10^6 (manual)
 
    Writes BENCH_hotpath.json (benchmark name -> ns/op) to the working
    directory. scripts/check_bench.py compares a fresh run against the
-   committed baseline and fails CI on a >25% regression; see
+   committed baseline, fails CI on a >25% regression, and (on the
+   scale run) fits log-log scaling exponents per row family; see
    docs/PERFORMANCE.md for how to read the numbers. *)
 
 open Rs_graph
@@ -33,7 +38,17 @@ let udg ~seed ~n ~density =
    past the 25% regression gate. Coarser than Bechamel's OLS but
    robust for the multi-second union/verify runs at n = 2000. *)
 let time_ns ?(min_time = 0.2) ?(min_reps = 3) f =
+  (* Warm-up: at least two calls plus ~min_time/4 of wall time. A
+     single cold call is not enough on the tree-construction rows —
+     the first timed batch still paid for lazily-grown scratch arrays
+     and a cold branch predictor, which once left the committed
+     domtree/gdy-r3b1/udg300 baseline ~15% above its steady state. *)
   ignore (Sys.opaque_identity (f ()));
+  let tw = now () in
+  ignore (Sys.opaque_identity (f ()));
+  while now () -. tw < min_time /. 4.0 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
   let slot = min_time /. 8.0 in
   let batch = ref 0 in
   let t0 = now () in
@@ -63,16 +78,45 @@ let human ns =
   else if ns < 1e9 then Printf.sprintf "%.1f ms" (ns /. 1e6)
   else Printf.sprintf "%.2f s" (ns /. 1e9)
 
-let bench_size rows ~n =
+(* The reduced tier runs at every size; the full tier (per-root
+   unions, verify, repair, store, obs overhead) only at the classic
+   n <= 2000 sizes — at 10^5 a per-root union or exhaustive verify
+   would take minutes and show nothing the sharded rows don't. Rows
+   at n > 2000 use a smaller timing budget (min_time 0.05, 2 reps):
+   each op already runs tens of milliseconds to seconds, so the min
+   estimator stabilizes with far fewer calls. *)
+let bench_size rows ~seen ~tier ~n =
+  let slow = n > 2000 in
   let g = udg ~seed:4242 ~n ~density:4.0 in
   let tag name = Printf.sprintf "%s/udg%d" name n in
-  let add name f = rows := (tag name, time_ns f) :: !rows in
+  let add name f =
+    let name = tag name in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      let min_time = if slow then 0.05 else 0.2 in
+      let min_reps = if slow then 2 else 3 in
+      rows := (name, time_ns ~min_time ~min_reps f) :: !rows
+    end
+  in
+  (* ---- reduced tier: the rows the scaling-exponent gate fits ---- *)
   let scratch = Bfs.Scratch.create () in
   add "bfs/dist" (fun () -> Bfs.dist g 0);
   add "bfs/scratch_run" (fun () -> Bfs.Scratch.run scratch g 0);
+  let ms = Msbfs.create () in
+  let srcs = Array.init (min Msbfs.width n) (fun i -> i) in
+  add "msbfs/batch62" (fun () -> Msbfs.run ms g srcs);
   add "domtree/gdy-r3b1" (fun () -> Dom_tree.gdy ~scratch g ~r:3 ~beta:1 0);
-  add "domtree/mis-r3" (fun () -> Dom_tree.mis ~scratch g ~r:3 0);
   add "domtree/gdy_k2" (fun () -> Dom_tree_k.gdy_k ~scratch g ~k:2 0);
+  add "build/exact-sharded" (fun () -> Sharded.build g (Sharded.Gdy_k { k = 1 }));
+  add "build/gdy-sharded" (fun () -> Sharded.build g (Sharded.Gdy { r = 3; beta = 1 }));
+  let text = Graph_io.to_string g in
+  let bin = Graph_io.to_binary_string g in
+  add "io/to-text" (fun () -> Graph_io.to_string g);
+  add "io/to-binary" (fun () -> Graph_io.to_binary_string g);
+  add "io/load-text" (fun () -> Graph_io.of_string text);
+  add "io/load-binary" (fun () -> Graph_io.of_binary_string bin);
+  if tier = `Full then begin
+  add "domtree/mis-r3" (fun () -> Dom_tree.mis ~scratch g ~r:3 0);
   add "union/exact-seq" (fun () -> Remote_spanner.exact_distance g);
   add "union/exact-par4" (fun () -> Parallel.exact_distance ~domains:4 g);
   let h = Remote_spanner.exact_distance g in
@@ -151,12 +195,24 @@ let bench_size rows ~n =
   let best ts = List.fold_left Float.min Float.infinity ts *. 1e9 in
   rows := (tag "obs/exact-off", best !off_ts) :: !rows;
   rows := (tag "obs/exact-on", best !on_ts) :: !rows
+  end
 
 let () =
-  let quick = Array.exists (( = ) "quick") Sys.argv in
-  let sizes = if quick then [ 300 ] else [ 300; 1000; 2000 ] in
+  let has a = Array.exists (( = ) a) Sys.argv in
+  let plan =
+    if has "quick" then [ (300, `Full) ]
+    else if has "scale" then
+      [ (1_000, `Reduced); (10_000, `Reduced); (100_000, `Reduced) ]
+    else if has "huge" then
+      [ (1_000, `Reduced); (10_000, `Reduced); (100_000, `Reduced);
+        (1_000_000, `Reduced) ]
+    else
+      [ (300, `Full); (1_000, `Full); (2_000, `Full); (10_000, `Reduced);
+        (100_000, `Reduced) ]
+  in
   let rows = ref [] in
-  List.iter (fun n -> bench_size rows ~n) sizes;
+  let seen = Hashtbl.create 64 in
+  List.iter (fun (n, tier) -> bench_size rows ~seen ~tier ~n) plan;
   let rows = List.sort compare !rows in
   Printf.printf "%-28s | %s\n" "benchmark" "time/op";
   print_endline (String.make 42 '-');

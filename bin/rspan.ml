@@ -164,7 +164,8 @@ let emit output content =
   match output with
   | None -> print_string content
   | Some path ->
-      let oc = open_out path in
+      (* binary mode: .rsg payloads must not be newline-translated *)
+      let oc = open_out_bin path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
 
 (* Route file-system failures (unwritable -o targets, --coords paths)
@@ -194,7 +195,14 @@ let gen_cmd =
     Arg.(value & opt (some string) None
          & info [ "coords" ] ~docv:"FILE" ~doc:"For udg: also save point coordinates (for 'rspan render').")
   in
-  let run () family n seed p density k coords output =
+  let binary =
+    Arg.(value & flag
+         & info [ "binary" ]
+             ~doc:"Emit the compact binary format (.rsg: magic, counts, \
+                   little-endian edge pairs, CRC-32) instead of the text \
+                   format. Every command auto-detects it on input.")
+  in
+  let run () family n seed p density k coords binary output =
     catch_io @@ fun () ->
     let rand = Rand.create seed in
     let g =
@@ -215,14 +223,16 @@ let gen_cmd =
       | `Tree -> Gen.random_tree rand n
       | `Theta -> Gen.theta k (max 1 (n / k))
     in
-    emit output (Graph_io.to_string g);
+    emit output
+      (if binary then Graph_io.to_binary_string g else Graph_io.to_string g);
     Logs.app (fun m -> m "generated: n=%d m=%d" (Graph.n g) (Graph.m g));
     Ok ()
   in
   let term =
     Term.(
       term_result
-        (const run $ obs_term $ family $ n $ seed $ p $ density $ k $ coords $ output_arg))
+        (const run $ obs_term $ family $ n $ seed $ p $ density $ k $ coords $ binary
+       $ output_arg))
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a graph.") term
 

@@ -71,14 +71,24 @@ let levels_of s ~max_dist =
       a)
     levels
 
-let gdy ?scratch g ~r ~beta u =
-  if r < 1 || beta < 0 then invalid_arg "Dom_tree.gdy: need r >= 1, beta >= 0";
+(* Edge-emitting core of Algorithm 1: everything after the traversal,
+   abstracted over how tree membership is stored ([mem]/[add], where
+   [add p c] records edge (p, c) and makes [c] a member). The Tree.t
+   wrapper below instantiates it with a real [Tree.t]; the batched
+   builder ([Sharded]) uses stamped membership arrays and int edge
+   accumulators, skipping the O(n) [Tree.create] that dominates at
+   n >= 10^5. [levels] is the explored ball grouped by BFS level
+   (levels 0..r+beta, each id-sorted); [parent_of] the canonical BFS
+   parent within the ball. *)
+let gdy_emit g ~r ~beta ~levels ~parent_of ~mem ~add =
   Obs.incr c_trees;
-  let s = scratch_or scratch in
-  (* one traversal yields both distances and deterministic parents *)
-  Bfs.Scratch.run ~radius:(r + beta) s g u;
-  let levels = levels_of s ~max_dist:(r + beta) in
-  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  let rec graft v =
+    if not (mem v) then begin
+      let p = parent_of v in
+      graft p;
+      add p v
+    end
+  in
   for r' = 2 to r do
     let sphere = levels.(r') in
     let annulus =
@@ -113,7 +123,7 @@ let gdy ?scratch g ~r ~beta u =
     let ncov = ref 0 in
     List.iter
       (fun sid ->
-        Tree.graft_fn t (Bfs.Scratch.parent s) annulus.(sid);
+        graft annulus.(sid);
         Array.iter
           (fun e ->
             if not covered.(e) then begin
@@ -126,39 +136,59 @@ let gdy ?scratch g ~r ~beta u =
        while S is non-empty (the neighbor of an undominated sphere
        node on a shortest path qualifies) — so greedy covers fully. *)
     assert (!ncov = Array.length sphere)
-  done;
+  done
+
+let gdy ?scratch g ~r ~beta u =
+  if r < 1 || beta < 0 then invalid_arg "Dom_tree.gdy: need r >= 1, beta >= 0";
+  let s = scratch_or scratch in
+  (* one traversal yields both distances and canonical parents *)
+  Bfs.Scratch.run ~radius:(r + beta) s g u;
+  let levels = levels_of s ~max_dist:(r + beta) in
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  gdy_emit g ~r ~beta ~levels
+    ~parent_of:(Bfs.Scratch.parent s)
+    ~mem:(Tree.mem t)
+    ~add:(fun p c -> Tree.add_edge t ~parent:p ~child:c);
   t
+
+(* Edge-emitting core of Algorithm 2; [mem]/[add] as in {!gdy_emit},
+   [dead_mem]/[dead_add] the MIS "removed" set. [levels] as in
+   {!gdy_emit} with levels 0..r: concatenating levels 2..r in order
+   is exactly the (distance, id)-increasing processing order. *)
+let mis_emit g ~r ~levels ~parent_of ~mem ~add ~dead_mem ~dead_add =
+  Obs.incr c_trees;
+  let rec graft v =
+    if not (mem v) then begin
+      let p = parent_of v in
+      graft p;
+      add p v
+    end
+  in
+  let order = Array.concat (List.init (max 0 (r - 1)) (fun i -> levels.(i + 2))) in
+  Obs.observe h_candidates (float_of_int (Array.length order));
+  Array.iter
+    (fun x ->
+      if not (dead_mem x) then begin
+        graft x;
+        dead_add x;
+        Graph.iter_neighbors g x dead_add
+      end)
+    order
 
 let mis ?scratch g ~r u =
   if r < 1 then invalid_arg "Dom_tree.mis: need r >= 1";
-  Obs.incr c_trees;
   let s = scratch_or scratch in
   Bfs.Scratch.run ~radius:r s g u;
+  let levels = levels_of s ~max_dist:r in
   let t = Tree.create ~n:(Graph.n g) ~root:u in
-  (* B = B(u, r) \ B(u, 1), processed by increasing (distance, id). *)
-  let b = ref [] in
-  for i = Bfs.Scratch.visited_count s - 1 downto 0 do
-    let v = Bfs.Scratch.visited s i in
-    let d = Bfs.Scratch.dist s v in
-    if d >= 2 && d <= r then b := v :: !b
-  done;
-  let order = Array.of_list !b in
-  Array.sort
-    (fun a b ->
-      let c = Int.compare (Bfs.Scratch.dist s a) (Bfs.Scratch.dist s b) in
-      if c <> 0 then c else Int.compare a b)
-    order;
-  Obs.observe h_candidates (float_of_int (Array.length order));
   let dead = Bfs.Scratch.marks s in
   Bfs.Marks.clear dead;
-  Array.iter
-    (fun x ->
-      if not (Bfs.Marks.mem dead x) then begin
-        Tree.graft_fn t (Bfs.Scratch.parent s) x;
-        Bfs.Marks.set dead x;
-        Graph.iter_neighbors g x (fun w -> Bfs.Marks.set dead w)
-      end)
-    order;
+  mis_emit g ~r ~levels
+    ~parent_of:(Bfs.Scratch.parent s)
+    ~mem:(Tree.mem t)
+    ~add:(fun p c -> Tree.add_edge t ~parent:p ~child:c)
+    ~dead_mem:(Bfs.Marks.mem dead)
+    ~dead_add:(Bfs.Marks.set dead);
   t
 
 let optimal_size_star ?limit g u =

@@ -39,6 +39,45 @@ val mis : ?scratch:Bfs.Scratch.t -> Graph.t -> r:int -> int -> Tree.t
     distance from [u] (ties by id) and grafts shortest paths.
     [~scratch] as in {!gdy}. *)
 
+(** {2 Edge-emitting cores}
+
+    Everything after the root's traversal, abstracted over edge and
+    membership storage so the batched builder ([Rs_core.Sharded]) can
+    run them against stamped arrays and int edge accumulators instead
+    of an O(n) [Tree.t] per root. [levels] is the explored ball
+    grouped by BFS level (index = distance, each level sorted by id —
+    what {!Bfs.Scratch} and [Msbfs] both produce); [parent_of] maps a
+    non-root ball vertex to its canonical BFS parent; [add p c]
+    records tree edge (p, c) and must make [c] a member of [mem].
+    Initially exactly the root is a member. Emitted edges and every
+    [Rs_obs] metric are identical to the [Tree.t] wrappers above. *)
+
+val gdy_emit :
+  Graph.t ->
+  r:int ->
+  beta:int ->
+  levels:int array array ->
+  parent_of:(int -> int) ->
+  mem:(int -> bool) ->
+  add:(int -> int -> unit) ->
+  unit
+(** Core of {!gdy}; [levels] must cover distances [0 .. r + beta].
+    Assumes [r >= 1 && beta >= 0] (the wrapper validates). *)
+
+val mis_emit :
+  Graph.t ->
+  r:int ->
+  levels:int array array ->
+  parent_of:(int -> int) ->
+  mem:(int -> bool) ->
+  add:(int -> int -> unit) ->
+  dead_mem:(int -> bool) ->
+  dead_add:(int -> unit) ->
+  unit
+(** Core of {!mis}; [levels] must cover distances [0 .. r], and
+    [dead_mem]/[dead_add] expose an initially-empty vertex set used
+    for the independent-set removals. Assumes [r >= 1]. *)
+
 val optimal_size_star : ?limit:int -> Graph.t -> int -> int option
 (** Exact minimum edge count of a (2, 0)-dominating tree for [u].
     For r = 2, beta = 0 such a tree is a star of common neighbors, so

@@ -57,13 +57,13 @@ let sphere2_of s =
   Array.sort Int.compare a;
   a
 
-let gdy_k ?scratch g ~k u =
-  if k < 1 then invalid_arg "Dom_tree_k.gdy_k: k < 1";
+(* Edge-emitting core: everything after the radius-2 traversal,
+   abstracted over edge storage ([add u relay] — every emitted edge is
+   a star edge at the root). The Tree.t wrapper instantiates it with a
+   real [Tree.t]; the batched builder ([Sharded]) feeds int edge
+   accumulators. [sphere] is the 2-sphere of [u], ascending id. *)
+let gdy_k_emit g ~k ~sphere u ~add =
   Obs.incr c_trees;
-  let s = scratch_or scratch in
-  Bfs.Scratch.run ~radius:2 s g u;
-  let t = Tree.create ~n:(Graph.n g) ~root:u in
-  let sphere = sphere2_of s in
   if Obs.enabled () then Obs.observe h_sphere (float_of_int (Array.length sphere));
   (* "Cover every sphere node v by min(k, |N(u) ∩ N(v)|) relays,
      repeatedly picking the relay covering most unsatisfied nodes
@@ -73,7 +73,13 @@ let gdy_k ?scratch g ~k u =
      pick sequence. *)
   let elt_of = Hashtbl.create (Array.length sphere) in
   Array.iteri (fun i v -> Hashtbl.replace elt_of v i) sphere;
-  let relays = Graph.neighbors g u in
+  (* u's sorted neighbor list, materialized over the CSR: the batched
+     path must not force the graph's lazy per-vertex adjacency *)
+  let relays = Array.make (Graph.degree g u) 0 in
+  let i = ref 0 in
+  Graph.iter_neighbors g u (fun w ->
+      relays.(!i) <- w;
+      incr i);
   let ball_of x =
     let acc = ref [] in
     Graph.iter_neighbors g x (fun w ->
@@ -85,11 +91,19 @@ let gdy_k ?scratch g ~k u =
   List.iter
     (fun sid ->
       Obs.incr c_relays;
-      Tree.add_edge t ~parent:u ~child:relays.(sid))
+      add u relays.(sid))
     picks;
   (* every 2-sphere node has a common neighbor with u, so the greedy
      multicover always saturates the (capped) demands *)
-  assert (Setcover.is_cover inst ~k picks);
+  assert (Setcover.is_cover inst ~k picks)
+
+let gdy_k ?scratch g ~k u =
+  if k < 1 then invalid_arg "Dom_tree_k.gdy_k: k < 1";
+  let s = scratch_or scratch in
+  Bfs.Scratch.run ~radius:2 s g u;
+  let t = Tree.create ~n:(Graph.n g) ~root:u in
+  let sphere = sphere2_of s in
+  gdy_k_emit g ~k ~sphere u ~add:(fun p c -> Tree.add_edge t ~parent:p ~child:c);
   t
 
 let mis_k ?scratch g ~k u =

@@ -38,6 +38,14 @@ val gdy_k : ?scratch:Bfs.Scratch.t -> Graph.t -> k:int -> int -> Tree.t
     state across roots (per-tree work proportional to the 2-ball, not
     [n]); a scratch must not be shared between domains. *)
 
+val gdy_k_emit :
+  Graph.t -> k:int -> sphere:int array -> int -> add:(int -> int -> unit) -> unit
+(** Edge-emitting core of {!gdy_k}: everything after the radius-2
+    traversal, with [sphere] the id-sorted 2-sphere of the root and
+    [add u relay] invoked per star edge. Lets the batched builder
+    ([Rs_core.Sharded]) skip the O(n) [Tree.t] per root; edges and
+    metrics identical to {!gdy_k}. Assumes [k >= 1]. *)
+
 val mis_k : ?scratch:Bfs.Scratch.t -> Graph.t -> k:int -> int -> Tree.t
 (** Algorithm 5 (DomTreeMIS_{2,1,k}): k rounds of greedy maximal
     independent sets over the not-yet-dominated 2-sphere; each picked

@@ -1,55 +1,17 @@
 open Rs_graph
 module Obs = Rs_obs.Obs
 
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+(* The scheduler primitives (work-stealing drive, domain metrics) and
+   the domain cap live in [Sharded] now, shared with the batched
+   builder; this module re-exports them and keeps the tree-at-a-time
+   union for constructions the batched engine doesn't cover. *)
+let default_domains = Sharded.default_domains
+let record_domain = Sharded.record_domain
+let drive = Sharded.drive
 
 (* Same counter the sequential union uses, so the parallel path's
-   metrics sum to the sequential run's (asserted by a property test).
-   Domain-balance histograms are observed from the coordinating thread
-   after joins; the measurements themselves happen inside each domain. *)
+   metrics sum to the sequential run's (asserted by a property test). *)
 let c_trees = Obs.counter "core/trees_built"
-let h_domain_wall = Obs.histogram "parallel/domain_wall_s"
-let h_domain_items = Obs.histogram "parallel/domain_items"
-
-let record_domain items dt =
-  if Obs.enabled () then begin
-    Obs.observe h_domain_items (float_of_int items);
-    Obs.observe h_domain_wall dt
-  end
-
-(* Work-stealing over the vertex range [0, n): domains repeatedly claim
-   the next chunk off a shared atomic cursor, so a domain that lands on
-   cheap vertices simply claims more chunks instead of idling at a
-   static block boundary. Chunks are big enough to amortize the
-   fetch-and-add, small enough that the tail imbalance is bounded by
-   one chunk per domain. *)
-let chunk_size n domains = max 1 (min 64 (n / (domains * 8)))
-
-(* Each domain runs [worker claim]: a full claim-process loop plus any
-   per-domain finalization (e.g. merging its accumulator), returning
-   how many items it processed. [claim] hands out chunks until the
-   range is exhausted or [stop ()] aborts the sweep
-   (claimed-but-unprocessed chunks are then fine to drop). The calling
-   domain doubles as a worker, so [domains] counts it. *)
-let drive ~n ~domains ~stop worker =
-  let cursor = Atomic.make 0 in
-  let chunk = chunk_size n domains in
-  let claim () =
-    if stop () then None
-    else
-      let lo = Atomic.fetch_and_add cursor chunk in
-      if lo >= n then None else Some (lo, min (n - 1) (lo + chunk - 1))
-  in
-  let run_domain () =
-    let t0 = if Obs.enabled () then Obs.now () else 0.0 in
-    let items = worker claim in
-    let dt = if Obs.enabled () then Obs.now () -. t0 else 0.0 in
-    (items, dt)
-  in
-  let handles = List.init (domains - 1) (fun _ -> Domain.spawn run_domain) in
-  let own = run_domain () in
-  let per_domain = own :: List.map Domain.join handles in
-  List.iter (fun (items, dt) -> record_domain items dt) per_domain
 
 let union_trees_with ?domains g make_tree_of =
   Obs.with_span "parallel/union_trees" @@ fun () ->
@@ -99,21 +61,17 @@ let union_trees_with ?domains g make_tree_of =
 
 let union_trees ?domains g tree_of = union_trees_with ?domains g (fun () -> tree_of)
 
-let exact_distance ?domains g =
-  union_trees_with ?domains g (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      Dom_tree_k.gdy_k ~scratch g ~k:1)
+(* Entry points with a batched counterpart route through the sharded
+   builder (multi-source BFS batches + flat edge-id accumulators);
+   [two_connecting]'s mis_k trees stay on the per-root union. *)
+let rem_span ?domains g ~r ~beta = Sharded.build ?domains g (Sharded.Gdy { r; beta })
+
+let exact_distance ?domains g = Sharded.build ?domains g (Sharded.Gdy_k { k = 1 })
 
 let low_stretch ?domains g ~eps =
-  let r = Remote_spanner.r_of_eps eps in
-  union_trees_with ?domains g (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      Dom_tree.mis ~scratch g ~r)
+  Sharded.build ?domains g (Sharded.Mis { r = Remote_spanner.r_of_eps eps })
 
-let k_connecting ?domains g ~k =
-  union_trees_with ?domains g (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      Dom_tree_k.gdy_k ~scratch g ~k)
+let k_connecting ?domains g ~k = Sharded.build ?domains g (Sharded.Gdy_k { k })
 
 let two_connecting ?domains g =
   union_trees_with ?domains g (fun () ->

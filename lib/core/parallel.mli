@@ -14,6 +14,15 @@ open Rs_graph
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
 
+val drive :
+  ?chunk:int -> n:int -> domains:int -> stop:(unit -> bool) ->
+  ((unit -> (int * int) option) -> int) -> unit
+(** The work-stealing scheduler behind every parallel sweep in this
+    library, re-exported from {!Sharded.drive}: each domain runs the
+    worker with a [claim] function handing out inclusive chunks of
+    [0, n) until the range is empty or [stop ()] is true, and returns
+    its item count for the domain-balance histograms. *)
+
 val union_trees : ?domains:int -> Graph.t -> (int -> Tree.t) -> Edge_set.t
 (** Parallel version of {!Remote_spanner.union_trees}: domains claim
     chunks of the vertex range off a shared atomic cursor
@@ -31,11 +40,15 @@ val union_trees_with : ?domains:int -> Graph.t -> (unit -> int -> Tree.t) -> Edg
     never be shared between domains. The entry points below use this to
     give every domain its own reusable traversal scratch. *)
 
+val rem_span : ?domains:int -> Graph.t -> r:int -> beta:int -> Edge_set.t
 val exact_distance : ?domains:int -> Graph.t -> Edge_set.t
 val low_stretch : ?domains:int -> Graph.t -> eps:float -> Edge_set.t
 val k_connecting : ?domains:int -> Graph.t -> k:int -> Edge_set.t
 val two_connecting : ?domains:int -> Graph.t -> Edge_set.t
-(** Parallel counterparts of the {!Remote_spanner} entry points. *)
+(** Parallel counterparts of the {!Remote_spanner} entry points. All
+    but [two_connecting] route through {!Sharded.build} (batched
+    multi-source BFS, flat edge-id merge); [two_connecting]'s mis_k
+    trees stay on the per-root {!union_trees_with}. *)
 
 val is_remote_spanner :
   ?domains:int -> Graph.t -> Edge_set.t -> alpha:float -> beta:float -> bool

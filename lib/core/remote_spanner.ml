@@ -24,28 +24,26 @@ let r_of_eps eps =
   if eps <= 0.0 || eps > 1.0 then invalid_arg "Remote_spanner.r_of_eps: need 0 < eps <= 1";
   int_of_float (Float.ceil (1.0 /. eps)) + 1
 
-(* Each entry point shares one BFS scratch across all n per-node
-   trees, so the whole union does O(sum of explored balls) work instead
-   of n full re-initializations. *)
+(* Single-domain instances of the batched builder: roots advance
+   [Msbfs.width] at a time through the multi-source BFS and emit into
+   flat edge-id accumulators — same edge sets and same counter totals
+   as the historical one-scratch-per-run tree loop, at a fraction of
+   the per-root cost (see docs/PERFORMANCE.md, "Scaling"). *)
 let rem_span g ~r ~beta =
   Obs.with_span "build/rem_span" (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      built (union_trees g (Dom_tree.gdy ~scratch g ~r ~beta)))
+      built (Sharded.build ~domains:1 g (Sharded.Gdy { r; beta })))
 
 let low_stretch g ~eps =
   Obs.with_span "build/low_stretch" (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      built (union_trees g (Dom_tree.mis ~scratch g ~r:(r_of_eps eps))))
+      built (Sharded.build ~domains:1 g (Sharded.Mis { r = r_of_eps eps })))
 
 let exact_distance g =
   Obs.with_span "build/exact_distance" (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      built (union_trees g (Dom_tree_k.gdy_k ~scratch g ~k:1)))
+      built (Sharded.build ~domains:1 g (Sharded.Gdy_k { k = 1 })))
 
 let k_connecting g ~k =
   Obs.with_span "build/k_connecting" (fun () ->
-      let scratch = Bfs.Scratch.create () in
-      built (union_trees g (Dom_tree_k.gdy_k ~scratch g ~k)))
+      built (Sharded.build ~domains:1 g (Sharded.Gdy_k { k })))
 
 let k_connecting_mis g ~k =
   Obs.with_span "build/k_connecting_mis" (fun () ->

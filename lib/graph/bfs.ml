@@ -92,8 +92,13 @@ module Scratch = struct
     done
 
   (* Single traversal computing distances and deterministic parents at
-     once (CSR ranges are sorted, so the first discoverer of [v] is the
-     smallest-id vertex at distance d(v)-1). *)
+     once. The canonical parent of [v] is its smallest-id neighbor at
+     distance d(v)-1 — a property of the graph alone, independent of
+     queue order, so any traversal schedule (per-root BFS here, the
+     bit-parallel batched engine in [Msbfs]) reconstructs the same
+     parents. The first discoverer is only a candidate: every vertex
+     at d(v)-1 is dequeued and either discovers [v] or lowers its
+     parent in the [else] branch, so the minimum is always reached. *)
   let run ?(radius = no_radius) s g src =
     ensure s (Graph.n g);
     s.gen <- s.gen + 1;
@@ -119,6 +124,7 @@ module Scratch = struct
             queue.(!tail) <- v;
             incr tail
           end
+          else if dist.(v) = du + 1 && u < parent.(v) then parent.(v) <- u
         done
     done;
     s.count <- !tail;
@@ -147,7 +153,8 @@ module Scratch = struct
               parent.(v) <- u;
               queue.(!tail) <- v;
               incr tail
-            end)
+            end
+            else if dist.(v) = du + 1 && u < parent.(v) then parent.(v) <- u)
           adj.(u)
     done;
     s.count <- !tail;
@@ -250,8 +257,8 @@ let parents_adj ?(radius = no_radius) adj src =
     incr head;
     let du = dist.(u) in
     if du < radius then
-      (* adjacency arrays are sorted, so the first discoverer of [v] is
-         the smallest-id vertex at distance d(v)-1: deterministic tree. *)
+      (* canonical parent = smallest-id neighbor at distance d(v)-1;
+         see [Scratch.run] for why the [else] branch reaches it *)
       Array.iter
         (fun v ->
           if dist.(v) < 0 then begin
@@ -259,7 +266,8 @@ let parents_adj ?(radius = no_radius) adj src =
             parent.(v) <- u;
             queue.(!tail) <- v;
             incr tail
-          end)
+          end
+          else if dist.(v) = du + 1 && u < parent.(v) then parent.(v) <- u)
         adj.(u)
   done;
   record_traversal !head;

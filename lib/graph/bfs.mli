@@ -13,6 +13,13 @@
 
     See docs/PERFORMANCE.md for the scratch-reuse contract. *)
 
+val record_traversal : int -> unit
+(** [record_traversal expanded] ticks the [bfs/runs] counter, adds
+    [expanded] to [bfs/expansions] and observes [bfs/visited] — the
+    bookkeeping every traversal in this module performs. Exposed so
+    alternative engines ({!Msbfs}) producing the same logical
+    traversals keep the metrics contract. *)
+
 (** Growable generation-stamped vertex sets: [clear] is O(1), [set] and
     [mem] are O(1). For algorithms layered on a traversal that need a
     reusable "seen/dead" set without O(n) clearing. *)
@@ -38,9 +45,11 @@ module Scratch : sig
 
   val run : ?radius:int -> t -> Graph.t -> int -> unit
   (** [run s g src] performs one BFS from [src], computing distances
-      and deterministic parents (smallest-id parent) in a single
-      traversal. With [~radius], exploration stops at that depth.
-      Records one [bfs/runs] tick. *)
+      and canonical parents in a single traversal. The parent of [v]
+      is its {e smallest-id} neighbor at distance [d(v) - 1] — a
+      function of the graph alone, so every engine (including the
+      batched {!Msbfs}) produces identical trees. With [~radius],
+      exploration stops at that depth. Records one [bfs/runs] tick. *)
 
   val run_adj : ?radius:int -> t -> int array array -> int -> unit
   (** Same over a raw adjacency structure. *)

@@ -1,8 +1,9 @@
 (** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
 
-    Every length-prefixed section of a snapshot and every write-ahead
-    log record carries one of these over its payload, so recovery can
-    tell a torn or bit-rotted tail from valid state. Checksums are
+    Every length-prefixed section of a snapshot, every write-ahead log
+    record ([Rs_store]) and every binary [.rsg] graph file
+    ({!Graph_io}) carries one of these over its payload, so loading
+    can tell a torn or bit-rotted tail from valid state. Checksums are
     returned as non-negative [int]s in [0, 2^32). *)
 
 val of_substring : string -> pos:int -> len:int -> int

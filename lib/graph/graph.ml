@@ -3,13 +3,15 @@
    id in lock-step with [nbr]. Adjacency queries are cache-friendly
    array scans and edge probes are binary searches — no hash tables on
    the hot path. [adj] keeps the historical per-vertex arrays alive for
-   the [neighbors] accessor (they alias slices of the same data). *)
+   the [neighbors] accessor; it is lazy because it duplicates [nbr]
+   (at n = 10^6 the copies cost hundreds of MB) and the hot paths all
+   run over the CSR directly. *)
 type t = {
   n : int;
   off : int array; (* length n+1 *)
   nbr : int array; (* length 2m, sorted within each vertex's range *)
   nbr_eid : int array; (* edge id of nbr.(i), aligned with nbr *)
-  adj : int array array;
+  adj : int array array Lazy.t;
   edges : (int * int) array;
 }
 
@@ -72,7 +74,7 @@ let fill_csr n edges =
       Array.blit tmp_e 0 nbr_eid lo d
     end
   done;
-  let adj = Array.init n (fun u -> Array.sub nbr off.(u) deg.(u)) in
+  let adj = lazy (Array.init n (fun u -> Array.sub nbr off.(u) deg.(u))) in
   { n; off; nbr; nbr_eid; adj; edges }
 
 let build n edge_list =
@@ -107,27 +109,31 @@ let make ~n edges =
 
 let of_arrays ~n edges = make ~n (Array.to_list edges)
 
-let of_canonical ~n edges =
+let of_canonical ?(validate = true) ~n edges =
   if n < 0 then invalid_arg "Graph.of_canonical: negative n";
-  let m = Array.length edges in
-  for i = 0 to m - 1 do
-    let u, v = edges.(i) in
-    if u < 0 || v >= n then
-      invalid_arg (Printf.sprintf "Graph.of_canonical: endpoint out of range (%d,%d)" u v);
-    if u >= v then
-      invalid_arg (Printf.sprintf "Graph.of_canonical: edge (%d,%d) not canonical" u v);
-    if i > 0 && cmp_edge edges.(i - 1) (u, v) >= 0 then
-      invalid_arg
-        (Printf.sprintf "Graph.of_canonical: edges not strictly sorted at (%d,%d)" u v)
-  done;
+  if validate then begin
+    let m = Array.length edges in
+    for i = 0 to m - 1 do
+      let u, v = edges.(i) in
+      if u < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.of_canonical: endpoint out of range (%d,%d)" u v);
+      if u >= v then
+        invalid_arg (Printf.sprintf "Graph.of_canonical: edge (%d,%d) not canonical" u v);
+      if i > 0 && cmp_edge edges.(i - 1) (u, v) >= 0 then
+        invalid_arg
+          (Printf.sprintf "Graph.of_canonical: edges not strictly sorted at (%d,%d)" u v)
+    done
+  end;
   (* [u < v < n] plus strict lex order is the full [make] contract:
      in-range, no self-loops, no duplicates — one O(m) pass instead of
-     a sort, which is what makes the binary snapshot load fast. *)
+     a sort, which is what makes the binary snapshot load fast.
+     [~validate:false] skips the check for callers that constructed
+     the array themselves (sharded induced sub-graphs, hot loaders). *)
   fill_csr n (Array.copy edges)
 
 let n g = g.n
 let m g = Array.length g.edges
-let neighbors g u = g.adj.(u)
+let neighbors g u = (Lazy.force g.adj).(u)
 let degree g u = g.off.(u + 1) - g.off.(u)
 
 let csr g = (g.off, g.nbr)

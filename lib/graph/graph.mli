@@ -24,14 +24,16 @@ val make : n:int -> (int * int) list -> t
 val of_arrays : n:int -> (int * int) array -> t
 (** Same as {!make} from an array (the array is not retained). *)
 
-val of_canonical : n:int -> (int * int) array -> t
+val of_canonical : ?validate:bool -> n:int -> (int * int) array -> t
 (** [of_canonical ~n edges] builds a graph from edges that are already
     canonical ([u < v]), lexicographically sorted and duplicate-free —
     the order {!edges} returns them in — validating that contract in
     one O(m) pass instead of re-sorting. Raises [Invalid_argument] if
     any edge is out of range, non-canonical or out of order. This is
     the fast path binary snapshot loads take (see [Rs_store]); the
-    array is not retained. *)
+    array is not retained. [~validate:false] (default [true]) skips
+    the contract check — only for callers that constructed the array
+    themselves; feeding it unchecked external input is undefined. *)
 
 val n : t -> int
 (** Number of vertices. *)

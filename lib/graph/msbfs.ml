@@ -1,0 +1,234 @@
+(* Bit-parallel multi-source BFS: up to [width] roots advance together,
+   one machine word of "seen" bits per vertex. Each frontier sweep
+   expands the union of all per-root frontiers, so overlapping balls
+   (spatially close roots) share every neighbor scan their traversals
+   have in common — the per-root Scratch loop scans them once per
+   root. Width is 62, not 64: OCaml ints are 63-bit and staying clear
+   of the sign bit keeps every mask test a plain [<> 0]. *)
+
+let width = 62
+
+type t = {
+  mutable seen : int array; (* bit k set: vertex reached by root k *)
+  mutable cur : int array; (* bits of the current frontier *)
+  mutable nxt : int array; (* bits of the next frontier *)
+  mutable front : int array; (* vertices with cur bits, each once *)
+  mutable nfront : int;
+  mutable fnext : int array;
+  mutable nfnext : int;
+  mutable touched : int array; (* vertices with seen bits, for O(ball) reset *)
+  mutable ntouched : int;
+  mutable srcs : int array;
+  mutable nsrc : int;
+  (* per-slot results: visit order grouped by level (BFS is
+     level-synchronous, so discovery order is level order) *)
+  out : int array array;
+  nout : int array;
+  lvl : int array array; (* lvl.(s).(d) = end index of level d in out.(s) *)
+  nlvl : int array;
+}
+
+let create () =
+  {
+    seen = [||];
+    cur = [||];
+    nxt = [||];
+    front = [||];
+    nfront = 0;
+    fnext = [||];
+    nfnext = 0;
+    touched = [||];
+    ntouched = 0;
+    srcs = [||];
+    nsrc = 0;
+    out = Array.make width [||];
+    nout = Array.make width 0;
+    lvl = Array.make width [||];
+    nlvl = Array.make width 0;
+  }
+
+let ensure t n =
+  if Array.length t.seen < n then begin
+    let cap = max n (max 16 (2 * Array.length t.seen)) in
+    t.seen <- Array.make cap 0;
+    t.cur <- Array.make cap 0;
+    t.nxt <- Array.make cap 0;
+    t.front <- Array.make cap 0;
+    t.fnext <- Array.make cap 0;
+    t.touched <- Array.make cap 0
+  end
+
+let push_out t s v =
+  let a = t.out.(s) in
+  let i = t.nout.(s) in
+  let a =
+    if i >= Array.length a then begin
+      let f = Array.make (max 16 (2 * (i + 1))) 0 in
+      Array.blit a 0 f 0 i;
+      t.out.(s) <- f;
+      f
+    end
+    else a
+  in
+  a.(i) <- v;
+  t.nout.(s) <- i + 1
+
+let push_lvl t s =
+  let a = t.lvl.(s) in
+  let i = t.nlvl.(s) in
+  let a =
+    if i >= Array.length a then begin
+      let f = Array.make (max 8 (2 * (i + 1))) 0 in
+      Array.blit a 0 f 0 i;
+      t.lvl.(s) <- f;
+      f
+    end
+    else a
+  in
+  a.(i) <- t.nout.(s);
+  t.nlvl.(s) <- i + 1
+
+(* trailing-zero count of a non-zero 62-bit mask, 6 branches *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+let no_radius = max_int
+
+let run ?(radius = no_radius) t g srcs =
+  let k = Array.length srcs in
+  if k > width then invalid_arg "Msbfs.run: more sources than width";
+  ensure t (Graph.n g);
+  (* O(previous balls) reset, never O(n) *)
+  for i = 0 to t.ntouched - 1 do
+    let v = t.touched.(i) in
+    t.seen.(v) <- 0;
+    t.cur.(v) <- 0;
+    t.nxt.(v) <- 0
+  done;
+  t.ntouched <- 0;
+  t.nsrc <- k;
+  if Array.length t.srcs < k then t.srcs <- Array.make (max 16 width) 0;
+  Array.blit srcs 0 t.srcs 0 k;
+  for s = 0 to k - 1 do
+    t.nout.(s) <- 0;
+    t.nlvl.(s) <- 0
+  done;
+  t.nfront <- 0;
+  let seen = t.seen and cur = t.cur in
+  for s = 0 to k - 1 do
+    let src = srcs.(s) in
+    if seen.(src) = 0 then begin
+      t.touched.(t.ntouched) <- src;
+      t.ntouched <- t.ntouched + 1;
+      t.front.(t.nfront) <- src;
+      t.nfront <- t.nfront + 1
+    end;
+    let bit = 1 lsl s in
+    seen.(src) <- seen.(src) lor bit;
+    cur.(src) <- cur.(src) lor bit;
+    push_out t s src
+  done;
+  for s = 0 to k - 1 do
+    push_lvl t s
+  done;
+  let off, nbr = Graph.csr g in
+  let d = ref 0 in
+  while t.nfront > 0 && !d < radius do
+    t.nfnext <- 0;
+    let cur = t.cur and nxt = t.nxt and seen = t.seen in
+    for i = 0 to t.nfront - 1 do
+      let u = t.front.(i) in
+      let mask = cur.(u) in
+      cur.(u) <- 0;
+      for j = off.(u) to off.(u + 1) - 1 do
+        let v = nbr.(j) in
+        let b = mask land lnot seen.(v) in
+        if b <> 0 then begin
+          if seen.(v) = 0 then begin
+            t.touched.(t.ntouched) <- v;
+            t.ntouched <- t.ntouched + 1
+          end;
+          if nxt.(v) = 0 then begin
+            t.fnext.(t.nfnext) <- v;
+            t.nfnext <- t.nfnext + 1
+          end;
+          seen.(v) <- seen.(v) lor b;
+          nxt.(v) <- nxt.(v) lor b;
+          let rem = ref b in
+          while !rem <> 0 do
+            let s = ntz !rem in
+            rem := !rem land (!rem - 1);
+            push_out t s v
+          done
+        end
+      done
+    done;
+    let tmp = t.front in
+    t.front <- t.fnext;
+    t.fnext <- tmp;
+    t.nfront <- t.nfnext;
+    let tmp = t.cur in
+    t.cur <- t.nxt;
+    t.nxt <- tmp;
+    incr d;
+    if t.nfront > 0 then
+      for s = 0 to k - 1 do
+        push_lvl t s
+      done
+  done;
+  (* metric parity with the per-root engine: one bfs/runs tick and one
+     bfs/expansions contribution of |ball| per slot *)
+  for s = 0 to k - 1 do
+    Bfs.record_traversal t.nout.(s)
+  done
+
+let n_sources t = t.nsrc
+
+let source t s =
+  if s < 0 || s >= t.nsrc then invalid_arg "Msbfs.source: no such slot";
+  t.srcs.(s)
+
+let visited_count t s = t.nout.(s)
+
+let iter_visited t s f =
+  let out = t.out.(s) and lvl = t.lvl.(s) in
+  let start = ref 0 in
+  for d = 0 to t.nlvl.(s) - 1 do
+    for i = !start to lvl.(d) - 1 do
+      f out.(i) d
+    done;
+    start := lvl.(d)
+  done
+
+let levels t s ~max_dist =
+  let out = t.out.(s) and lvl = t.lvl.(s) in
+  Array.init (max_dist + 1) (fun d ->
+      if d >= t.nlvl.(s) then [||]
+      else begin
+        let lo = if d = 0 then 0 else lvl.(d - 1) in
+        let a = Array.sub out lo (lvl.(d) - lo) in
+        Array.sort Int.compare a;
+        a
+      end)

@@ -1,0 +1,52 @@
+(** Bit-parallel multi-source BFS over the CSR core.
+
+    Advances up to {!width} roots per frontier sweep, one machine word
+    of "seen" bits per vertex. When the roots' balls overlap — roots
+    that are spatially close, as a locality-ordered batch produces —
+    each shared vertex's neighbor range is scanned once per {e sweep}
+    instead of once per {e root}, which is what makes construction at
+    n = 10^5..10^6 tractable (see docs/PERFORMANCE.md, "Scaling").
+
+    Per-slot results are exposed as visit order grouped by BFS level;
+    distances, spheres and annuli derive from the level structure. For
+    every slot the engine records the same [bfs/runs]/[bfs/expansions]
+    metrics as a {!Bfs.Scratch.run} from that root, so batched and
+    per-root constructions stay metric-identical.
+
+    A [t] is reusable across runs and graphs (it grows, never shrinks)
+    and must not be shared between domains. Accessors read the most
+    recent run only. *)
+
+val width : int
+(** Maximum batch size, 62: OCaml ints are 63-bit and the engine stays
+    clear of the sign bit so mask tests are plain [<> 0]. *)
+
+type t
+
+val create : unit -> t
+
+val run : ?radius:int -> t -> Graph.t -> int array -> unit
+(** [run t g srcs] performs one batched BFS from every root in [srcs]
+    (at most {!width}, duplicates allowed). Slot [s] of the result
+    corresponds to [srcs.(s)]. With [~radius], every traversal stops
+    at that depth — identical reach to [Bfs.Scratch.run ~radius].
+    Raises [Invalid_argument] when [Array.length srcs > width]. *)
+
+val n_sources : t -> int
+(** Number of slots filled by the last run. *)
+
+val source : t -> int -> int
+(** [source t s] is the root of slot [s]. *)
+
+val visited_count : t -> int -> int
+(** Ball size of slot [s] (vertices reached, including the root). *)
+
+val iter_visited : t -> int -> (int -> int -> unit) -> unit
+(** [iter_visited t s f] calls [f v d] for every vertex [v] reached by
+    slot [s] at distance [d], in increasing distance order. *)
+
+val levels : t -> int -> max_dist:int -> int array array
+(** [levels t s ~max_dist] is the slot's ball grouped by level:
+    element [d] holds the vertices at distance exactly [d], sorted by
+    id, for [0 <= d <= max_dist] (empty beyond the reach of the run).
+    Matches the layer decomposition the tree constructions consume. *)

@@ -1,70 +1,4 @@
-(* Table-driven CRC-32, reflected polynomial 0xEDB88320 (IEEE 802.3 /
-   zlib). Checksums live in plain non-negative [int]s — OCaml ints are
-   63-bit here, so the 32-bit value always fits; the table is built
-   once, lazily. *)
-
-let table =
-  lazy
-    (Array.init 256 (fun i ->
-         let c = ref i in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-(* Slicing-by-8 (Intel's extension of Sarwate's algorithm): row [k]
-   advances a byte through [k] further zero bytes, so eight lookups
-   xor-folded together consume eight input bytes per iteration instead
-   of one. Rows live in one flat array ([k * 256 + i]) to keep the
-   lookups on a single base pointer. *)
-let table8 =
-  lazy
-    (let t0 = Lazy.force table in
-     let t = Array.make (8 * 256) 0 in
-     Array.blit t0 0 t 0 256;
-     for k = 1 to 7 do
-       for i = 0 to 255 do
-         let c = t.(((k - 1) * 256) + i) in
-         t.((k * 256) + i) <- t0.(c land 0xFF) lxor (c lsr 8)
-       done
-     done;
-     t)
-
-let init = 0
-
-let update crc s ~pos ~len =
-  if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Crc32.update: slice out of range";
-  let t = Lazy.force table8 in
-  (* [update] composes, so the stored running value is the plain CRC;
-     re-invert on entry, invert back on exit. All table indices are
-     masked to [0, 255], so the unsafe lookups are in range. *)
-  let c = ref (crc lxor 0xFFFFFFFF) in
-  let b i = Char.code (String.unsafe_get s i) in
-  let word i = b i lor (b (i + 1) lsl 8) lor (b (i + 2) lsl 16) lor (b (i + 3) lsl 24) in
-  let i = ref pos in
-  let stop = pos + len in
-  while stop - !i >= 8 do
-    let x = !c lxor word !i in
-    let y = word (!i + 4) in
-    c :=
-      Array.unsafe_get t ((7 * 256) + (x land 0xFF))
-      lxor Array.unsafe_get t ((6 * 256) + ((x lsr 8) land 0xFF))
-      lxor Array.unsafe_get t ((5 * 256) + ((x lsr 16) land 0xFF))
-      lxor Array.unsafe_get t ((4 * 256) + (x lsr 24))
-      lxor Array.unsafe_get t ((3 * 256) + (y land 0xFF))
-      lxor Array.unsafe_get t ((2 * 256) + ((y lsr 8) land 0xFF))
-      lxor Array.unsafe_get t ((1 * 256) + ((y lsr 16) land 0xFF))
-      lxor Array.unsafe_get t (y lsr 24);
-    i := !i + 8
-  done;
-  while !i < stop do
-    c := Array.unsafe_get t ((!c lxor b !i) land 0xFF) lxor (!c lsr 8);
-    incr i
-  done;
-  !c lxor 0xFFFFFFFF
-
-let finish crc = crc
-
-let of_substring s ~pos ~len = update init s ~pos ~len
-let of_string s = of_substring s ~pos:0 ~len:(String.length s)
+(* The checksum now lives in [Rs_graph.Crc32] (the binary graph format
+   shares it); this alias keeps [Rs_store.Crc32] and the unqualified
+   uses in this library working unchanged. *)
+include Rs_graph.Crc32

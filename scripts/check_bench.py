@@ -28,9 +28,22 @@ store/load-text/<size> twin WITHIN the current run and fails if the
 binary snapshot load is not at least R times faster than the text
 parse: the durable-store fast-path gate (again same-run, so immune
 to cross-host drift).
+
+--scaling-exponent KEY:MAX (repeatable) collects every row named
+KEY/udg<n> WITHIN the current run, fits the least-squares slope of
+log(ns/op) against log(n), and fails if the fitted exponent exceeds
+MAX. This is the scaling gate behind the million-node work: a row
+family that should be near-linear (e.g. bfs/dist) drifting toward
+quadratic fails here long before any single size trips the 25% gate.
+Exponents are same-run, so machine drift cancels entirely. At least
+two sizes of KEY must be present. --exponents-out FILE additionally
+writes the fitted exponent of EVERY row family with >= 2 sizes (not
+just the gated ones) as a flat JSON object, for trend dashboards.
 """
 import argparse
 import json
+import math
+import re
 import sys
 
 
@@ -56,6 +69,12 @@ def main():
     ap.add_argument("--min-ratio", type=float, default=None, metavar="R",
                     help="required store/load-text over store/load-snap "
                          "speed ratio, paired within the current run")
+    ap.add_argument("--scaling-exponent", action="append", default=[],
+                    metavar="KEY:MAX",
+                    help="fit the log-log slope of KEY/udg<n> rows in the "
+                         "current run and fail if it exceeds MAX (repeatable)")
+    ap.add_argument("--exponents-out", default=None, metavar="FILE",
+                    help="write every fitted row-family exponent as JSON")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -135,6 +154,61 @@ def main():
                      f"over the text parser: {names}")
         print(f"snapshot load >= {args.min_ratio:g}x faster than text "
               f"parse for {len(pairs)} pair(s)")
+
+    if args.scaling_exponent or args.exponents_out:
+        families = {}
+        for name, ns in cur.items():
+            m = re.fullmatch(r"(.+)/udg(\d+)", name)
+            if m and ns > 0:
+                families.setdefault(m.group(1), []).append(
+                    (int(m.group(2)), ns))
+
+        def fit(points):
+            # least-squares slope of log(ns) against log(n)
+            xs = [math.log(n) for n, _ in points]
+            ys = [math.log(ns) for _, ns in points]
+            mx, my = sum(xs) / len(xs), sum(ys) / len(ys)
+            sxx = sum((x - mx) ** 2 for x in xs)
+            sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+            return sxy / sxx
+
+        exponents = {key: fit(sorted(pts))
+                     for key, pts in sorted(families.items())
+                     if len(pts) >= 2}
+
+        bad = []
+        for spec in args.scaling_exponent:
+            try:
+                key, max_s = spec.rsplit(":", 1)
+                max_exp = float(max_s)
+            except ValueError:
+                sys.exit(f"--scaling-exponent: cannot parse '{spec}' "
+                         f"(expected KEY:MAX)")
+            if key not in exponents:
+                sys.exit(f"--scaling-exponent: fewer than two {key}/udg<n> "
+                         f"rows in the current run")
+            exp = exponents[key]
+            sizes = "/".join(str(n) for n, _ in sorted(families[key]))
+            flag = " <-- SUPERLINEAR" if exp > max_exp else ""
+            print(f"{key}: fitted exponent {exp:+.3f} over n={sizes} "
+                  f"(max {max_exp:g}){flag}")
+            if exp > max_exp:
+                bad.append((key, exp, max_exp))
+
+        if args.exponents_out:
+            with open(args.exponents_out, "w") as f:
+                json.dump({k: round(v, 4) for k, v in exponents.items()},
+                          f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"wrote {len(exponents)} fitted exponent(s) to "
+                  f"{args.exponents_out}")
+
+        if bad:
+            names = ", ".join(f"{k} ({e:.3f} > {m:g})" for k, e, m in bad)
+            sys.exit(f"scaling exponent(s) over budget: {names}")
+        if args.scaling_exponent:
+            print(f"all {len(args.scaling_exponent)} gated scaling "
+                  f"exponent(s) within budget")
 
 
 if __name__ == "__main__":

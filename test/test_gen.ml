@@ -181,6 +181,51 @@ let test_io_file_roundtrip () =
   Sys.remove file;
   check "file roundtrip" true (Graph.equal g g')
 
+let test_io_binary_roundtrip () =
+  List.iter
+    (fun g ->
+      let s = Graph_io.to_binary_string g in
+      check "sniffs as binary" true (Graph_io.is_binary s);
+      check "text not binary" false (Graph_io.is_binary (Graph_io.to_string g));
+      check "binary roundtrip" true (Graph.equal g (Graph_io.of_binary_string s)))
+    [ Gen.petersen (); Gen.grid 3 3; Gen.empty 5; Gen.complete 4;
+      Gen.erdos_renyi (Rand.create 9) 60 0.1 ]
+
+let test_io_binary_corruption () =
+  let s = Graph_io.to_binary_string (Gen.petersen ()) in
+  let corrupt s =
+    match Graph_io.of_binary_string s with
+    | _ -> false
+    | exception Failure _ -> true
+  in
+  (* a flipped payload byte must fail the CRC *)
+  let b = Bytes.of_string s in
+  Bytes.set b 17 (Char.chr (Char.code (Bytes.get b 17) lxor 0x40));
+  check "flipped byte" true (corrupt (Bytes.to_string b));
+  (* truncation anywhere: mid-magic, mid-header, mid-payload, mid-CRC *)
+  List.iter
+    (fun cut ->
+      check
+        (Printf.sprintf "truncated at %d" cut)
+        true
+        (corrupt (String.sub s 0 cut)))
+    [ 3; 10; 33; String.length s - 2 ];
+  check "bad magic" true
+    (corrupt ("XXGRF001" ^ String.sub s 8 (String.length s - 8)));
+  (* trailing garbage is a length mismatch, not silently ignored *)
+  check "trailing bytes" true (corrupt (s ^ "\x00"))
+
+let test_io_binary_file_autodetect () =
+  let file = Filename.temp_file "rspan" ".rsg" in
+  let g = Gen.erdos_renyi (Rand.create 4) 40 0.15 in
+  Graph_io.write_binary file g;
+  (* load sniffs the magic: same entry point as text files *)
+  let g' = Graph_io.load file in
+  let g'' = Graph_io.read_binary file in
+  Sys.remove file;
+  check "load autodetects" true (Graph.equal g g');
+  check "read_binary" true (Graph.equal g g'')
+
 let test_dot_output () =
   let g = Gen.path_graph 3 in
   let h = Edge_set.create g in
@@ -227,6 +272,9 @@ let () =
           Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "comments and errors" `Quick test_io_comments_and_errors;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "binary roundtrip" `Quick test_io_binary_roundtrip;
+          Alcotest.test_case "binary corruption" `Quick test_io_binary_corruption;
+          Alcotest.test_case "binary autodetect" `Quick test_io_binary_file_autodetect;
           Alcotest.test_case "dot highlight" `Quick test_dot_output;
         ] );
     ]

@@ -30,8 +30,11 @@ let instances =
 
 (* ---------- references: the pre-overhaul implementations ---------- *)
 
-(* Textbook queue BFS over the sorted adjacency — the semantics every
-   historical caller saw (parents = first discoverer, ascending id). *)
+(* Textbook queue BFS for distances, then the canonical parent rule
+   applied as an independent post-pass: the parent of [v] is its
+   smallest-id neighbor at distance d(v) - 1 — a property of the graph
+   alone, which the incremental min-tracking in [Bfs.Scratch] must
+   reproduce exactly. *)
 let ref_bfs ?radius g src =
   let n = Graph.n g in
   let dist = Array.make n (-1) and parent = Array.make n (-1) in
@@ -51,6 +54,12 @@ let ref_bfs ?radius g src =
             Queue.push v q
           end)
         (Graph.neighbors g u)
+  done;
+  for v = 0 to n - 1 do
+    if dist.(v) > 0 then
+      Array.iter
+        (fun w -> if dist.(w) = dist.(v) - 1 && w < parent.(v) then parent.(v) <- w)
+        (Graph.neighbors g v)
   done;
   (dist, parent)
 

@@ -1,0 +1,135 @@
+(* Multi-source BFS engine: the batched traversals must be
+   byte-identical to one Bfs.Scratch run per root — distances,
+   reach sets and level structure — on arbitrary graphs (including
+   disconnected ones) and under radius bounds. *)
+open Rs_graph
+
+let check_int = Alcotest.(check int)
+
+let graph_of_seed ~max_n seed =
+  let rand = Rand.create seed in
+  let n = 2 + Rand.int rand (max_n - 1) in
+  match Rand.int rand 4 with
+  | 0 -> Gen.erdos_renyi rand n (0.05 +. Rand.float rand 0.3)
+  | 1 -> Gen.random_connected rand n 0.1
+  | 2 ->
+      let side = sqrt (float_of_int n /. 3.0) in
+      let pts = Rs_geometry.Sampler.uniform rand ~n ~dim:2 ~side in
+      Rs_geometry.Unit_ball.udg pts
+  | _ -> Gen.random_tree rand n
+
+(* a random batch of distinct roots, 1 <= size <= min (width, n) *)
+let batch_of rand g =
+  let n = Graph.n g in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rand.int rand (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Array.sub perm 0 (1 + Rand.int rand (min Msbfs.width n))
+
+let arb_instance ~max_n =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rand = Rand.create seed in
+      let g = graph_of_seed ~max_n (Rand.int rand 1_000_000) in
+      let srcs = batch_of rand g in
+      let radius = if Rand.int rand 2 = 0 then None else Some (Rand.int rand 5) in
+      (g, srcs, radius))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let make_test ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* one reusable engine and scratch across all QCheck cases: also
+   exercises the generation-stamp reset between runs of different
+   sizes and graphs *)
+let ms = Msbfs.create ()
+let scratch = Bfs.Scratch.create ()
+
+let prop_matches_scratch (g, srcs, radius) =
+  Msbfs.run ?radius ms g srcs;
+  let n = Graph.n g in
+  Array.iteri
+    (fun s src ->
+      assert (Msbfs.source ms s = src);
+      Bfs.Scratch.run ?radius scratch g src;
+      (* identical reach set and distances, checked both ways: every
+         visited vertex agrees, and the counts rule out extras *)
+      assert (Msbfs.visited_count ms s = Bfs.Scratch.visited_count scratch);
+      let seen = Array.make n (-1) in
+      Msbfs.iter_visited ms s (fun v d ->
+          assert (seen.(v) < 0);
+          seen.(v) <- d);
+      for v = 0 to n - 1 do
+        assert (seen.(v) = Bfs.Scratch.dist scratch v)
+      done)
+    srcs;
+  true
+
+let prop_levels_structure (g, srcs, radius) =
+  Msbfs.run ?radius ms g srcs;
+  let s = Array.length srcs - 1 in
+  Bfs.Scratch.run ?radius scratch g srcs.(s);
+  let max_dist = match radius with Some r -> r | None -> Graph.n g in
+  let levels = Msbfs.levels ms s ~max_dist in
+  assert (Array.length levels = max_dist + 1);
+  (* each level: exactly the vertices at that distance, ascending id *)
+  Array.iteri
+    (fun d lvl ->
+      let expect = ref [] in
+      for v = Graph.n g - 1 downto 0 do
+        if Bfs.Scratch.dist scratch v = d then expect := v :: !expect
+      done;
+      assert (Array.to_list lvl = !expect))
+    levels;
+  true
+
+let test_width_batch () =
+  (* a full-width batch on a graph bigger than one word *)
+  let g = Gen.grid 10 10 in
+  let srcs = Array.init Msbfs.width (fun i -> i) in
+  Msbfs.run ms g srcs;
+  Array.iteri
+    (fun s src ->
+      Bfs.Scratch.run scratch g src;
+      check_int "count" (Bfs.Scratch.visited_count scratch)
+        (Msbfs.visited_count ms s);
+      Msbfs.iter_visited ms s (fun v d ->
+          check_int "dist" (Bfs.Scratch.dist scratch v) d))
+    srcs
+
+let test_disconnected () =
+  let g = Graph.make ~n:6 [ (0, 1); (1, 2); (4, 5) ] in
+  Msbfs.run ms g [| 0; 4; 3 |];
+  check_int "component of 0" 3 (Msbfs.visited_count ms 0);
+  check_int "component of 4" 2 (Msbfs.visited_count ms 1);
+  check_int "isolated root" 1 (Msbfs.visited_count ms 2);
+  Msbfs.iter_visited ms 2 (fun v d ->
+      check_int "isolated v" 3 v;
+      check_int "isolated d" 0 d)
+
+let test_radius_zero () =
+  let g = Gen.path_graph 5 in
+  Msbfs.run ~radius:0 ms g [| 2 |];
+  check_int "only the root" 1 (Msbfs.visited_count ms 0)
+
+let () =
+  Alcotest.run "msbfs"
+    [
+      ( "equivalence",
+        [
+          make_test "matches per-root scratch" (arb_instance ~max_n:60)
+            prop_matches_scratch;
+          make_test ~count:40 "levels structure" (arb_instance ~max_n:40)
+            prop_levels_structure;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "full-width batch" `Quick test_width_batch;
+          Alcotest.test_case "disconnected components" `Quick test_disconnected;
+          Alcotest.test_case "radius zero" `Quick test_radius_zero;
+        ] );
+    ]

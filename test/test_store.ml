@@ -69,6 +69,28 @@ let snapshot_of_graph ~seq ~specs g =
           { Snapshot.spec; trees = Repair.export_trees st; union = Repair.pairs st })
         specs }
 
+(* The snapshot decoder feeds CRC-clean edge arrays through
+   [Graph.of_canonical]'s validation as a second line of defense (a
+   correct checksum over a wrong-but-consistent payload, e.g. a
+   version skew, must still be rejected); the hot loaders pass
+   [~validate:false] only for arrays they built themselves. *)
+let test_of_canonical_validate () =
+  let edges = [| (0, 1); (1, 2) |] in
+  let ok = Graph.of_canonical ~n:3 edges in
+  check_int "m" 2 (Graph.m ok);
+  let rejects bad =
+    match Graph.of_canonical ~n:3 bad with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check "unsorted" true (rejects [| (1, 2); (0, 1) |]);
+  check "duplicate" true (rejects [| (0, 1); (0, 1) |]);
+  check "non-canonical orientation" true (rejects [| (1, 0) |]);
+  check "self loop" true (rejects [| (1, 1) |]);
+  check "out of range" true (rejects [| (0, 7) |]);
+  check "trusted fast path same graph" true
+    (Graph.equal ok (Graph.of_canonical ~validate:false ~n:3 edges))
+
 let test_snapshot_roundtrip () =
   let g = Gen.random_connected (Rand.create 7) 60 0.08 in
   let t = snapshot_of_graph ~seq:42 ~specs:all_specs g in
@@ -355,6 +377,7 @@ let () =
       ( "codec",
         [
           Alcotest.test_case "crc32" `Quick test_crc32;
+          Alcotest.test_case "of_canonical validation" `Quick test_of_canonical_validate;
           Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "snapshot rejects damage" `Quick test_snapshot_rejects_damage;
           Alcotest.test_case "restore = init" `Quick test_restore_equivalence;
