@@ -74,6 +74,9 @@ let low_stretch ?domains g ~eps =
 let k_connecting ?domains g ~k = Sharded.build ?domains g (Sharded.Gdy_k { k })
 
 let two_connecting ?domains g =
+  (* mis_k probes Graph.neighbors; build the memoized adjacency here so
+     the worker domains don't all pay the O(n + m) copy on first access *)
+  Graph.force_adj g;
   union_trees_with ?domains g (fun () ->
       let scratch = Bfs.Scratch.create () in
       Dom_tree_k.mis_k ~scratch g ~k:2)

@@ -348,8 +348,17 @@ let build ?domains ?order ?chunk ?(local = false) g strat =
   let order =
     match order with
     | Some o ->
+        (* a duplicate entry would silently drop the missing roots'
+           trees from the spanner, so check for a true permutation *)
         if Array.length o <> n then
           invalid_arg "Sharded.build: order must be a permutation of the vertex range";
+        let seen = Bytes.make n '\000' in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= n || Bytes.get seen v <> '\000' then
+              invalid_arg "Sharded.build: order must be a permutation of the vertex range";
+            Bytes.set seen v '\001')
+          o;
         o
     | None -> locality_order g
   in

@@ -79,5 +79,6 @@ val build :
     against the host graph in a final boundary-repair pass. Same edge
     set, but traversal metrics count the local re-runs, so local mode
     trades the sequential metric parity for shard-sized working sets.
-    Raises [Invalid_argument] on invalid strategy parameters or a
-    wrong-length [order]. *)
+    Raises [Invalid_argument] on invalid strategy parameters or an
+    [order] that is not a permutation of [0 .. n-1] (wrong length,
+    out-of-range entry, or duplicate). *)

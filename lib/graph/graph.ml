@@ -3,15 +3,18 @@
    id in lock-step with [nbr]. Adjacency queries are cache-friendly
    array scans and edge probes are binary searches — no hash tables on
    the hot path. [adj] keeps the historical per-vertex arrays alive for
-   the [neighbors] accessor; it is lazy because it duplicates [nbr]
-   (at n = 10^6 the copies cost hundreds of MB) and the hot paths all
-   run over the CSR directly. *)
+   the [neighbors] accessor; it is built on first demand because it
+   duplicates [nbr] (at n = 10^6 the copies cost hundreds of MB) and
+   the hot paths all run over the CSR directly. The memoization is an
+   [Atomic] publish rather than [Lazy.t] because parallel constructions
+   probe [neighbors] from several domains and [Lazy.force] is not
+   domain-safe (concurrent force can raise [Lazy.Undefined]). *)
 type t = {
   n : int;
   off : int array; (* length n+1 *)
   nbr : int array; (* length 2m, sorted within each vertex's range *)
   nbr_eid : int array; (* edge id of nbr.(i), aligned with nbr *)
-  adj : int array array Lazy.t;
+  adj : int array array option Atomic.t;
   edges : (int * int) array;
 }
 
@@ -74,8 +77,7 @@ let fill_csr n edges =
       Array.blit tmp_e 0 nbr_eid lo d
     end
   done;
-  let adj = lazy (Array.init n (fun u -> Array.sub nbr off.(u) deg.(u))) in
-  { n; off; nbr; nbr_eid; adj; edges }
+  { n; off; nbr; nbr_eid; adj = Atomic.make None; edges }
 
 let build n edge_list =
   List.iter
@@ -133,7 +135,23 @@ let of_canonical ?(validate = true) ~n edges =
 
 let n g = g.n
 let m g = Array.length g.edges
-let neighbors g u = (Lazy.force g.adj).(u)
+(* Once published the adjacency never changes; if two domains race on
+   the first access both build a copy and CAS picks the winner — the
+   loser's copy is garbage, which is safe, just wasted work. Callers
+   that fan out work probing [neighbors] should [force_adj] first so
+   only the coordinating domain pays the O(n + m) build. *)
+let adjacency g =
+  match Atomic.get g.adj with
+  | Some a -> a
+  | None ->
+      let a =
+        Array.init g.n (fun u -> Array.sub g.nbr g.off.(u) (g.off.(u + 1) - g.off.(u)))
+      in
+      if Atomic.compare_and_set g.adj None (Some a) then a
+      else Option.get (Atomic.get g.adj)
+
+let force_adj g = ignore (adjacency g : int array array)
+let neighbors g u = (adjacency g).(u)
 let degree g u = g.off.(u + 1) - g.off.(u)
 
 let csr g = (g.off, g.nbr)

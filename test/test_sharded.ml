@@ -141,6 +141,12 @@ let test_bad_arguments () =
   let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
   check "bad order length" true
     (raises (fun () -> Sharded.build ~order:[| 0; 1 |] g (Sharded.Gdy_k { k = 1 })));
+  check "duplicate in order" true
+    (raises (fun () ->
+         Sharded.build ~order:[| 0; 1; 2; 3; 4; 5; 6; 6 |] g (Sharded.Gdy_k { k = 1 })));
+  check "out-of-range in order" true
+    (raises (fun () ->
+         Sharded.build ~order:[| 0; 1; 2; 3; 4; 5; 6; 8 |] g (Sharded.Gdy_k { k = 1 })));
   check "bad r" true (raises (fun () -> Sharded.build g (Sharded.Gdy { r = 0; beta = 1 })));
   check "bad k" true (raises (fun () -> Sharded.build g (Sharded.Gdy_k { k = 0 })))
 
