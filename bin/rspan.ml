@@ -891,7 +891,24 @@ let policy_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Wal.policy_of_string s) in
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Wal.policy_to_string p))
 
+(* For commands where --wal is optional, --fsync without it is misuse:
+   there is no log to sync, so the flag would silently do nothing. *)
 let fsync_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "WAL durability: $(b,always) (fsync every append), $(b,every:N), or \
+           $(b,never). Requires --wal; defaults to $(b,always).")
+
+let resolve_fsync ~wal fsync =
+  match (fsync, wal) with
+  | Some _, None -> Error (`Msg "--fsync requires --wal (there is no log to sync)")
+  | _ -> Ok (Option.value fsync ~default:Wal.Always)
+
+(* snapshot / recover always operate on a store; keep the plain default *)
+let store_fsync_arg =
   Arg.(
     value
     & opt policy_conv Wal.Always
@@ -937,6 +954,9 @@ let churn_cmd =
     match build_faults ff with
     | Error e -> Error e
     | Ok faults ->
+    match resolve_fsync ~wal fsync with
+    | Error e -> Error e
+    | Ok fsync ->
     let module W = Rs_mobility.Waypoint in
     let module C = Rs_mobility.Churn_eval in
     let model =
@@ -1076,10 +1096,13 @@ let heal_cmd =
   in
   let run () algo eps k deltas_file step no_verify dirty_radius wal fsync graph_file
       output =
-    with_graph graph_file @@ fun g ->
     match (wal, dirty_radius) with
     | Some _, Some _ -> Error (`Msg "--wal cannot be combined with --dirty-radius")
     | _ -> (
+    match resolve_fsync ~wal fsync with
+    | Error e -> Error e
+    | Ok fsync -> (
+    with_graph graph_file @@ fun g ->
     match repair_spec_of algo ~eps ~k with
     | Error e -> Error e
     | Ok spec -> (
@@ -1164,7 +1187,7 @@ let heal_cmd =
                           m "verified: (%g, %g)-remote-spanner" alpha beta);
                       write ()
                   | None -> write ()
-                end))))
+                end)))))
   in
   let term =
     Term.(
@@ -1243,7 +1266,7 @@ let snapshot_cmd =
     Term.(
       term_result
         (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ store_pos $ init
-       $ compact $ fsync_arg))
+       $ compact $ store_fsync_arg))
   in
   Cmd.v
     (Cmd.info "snapshot"
@@ -1303,7 +1326,7 @@ let recover_cmd =
   let term =
     Term.(
       term_result
-        (const run $ obs_term $ store_pos $ no_verify $ fsync_arg $ output_arg
+        (const run $ obs_term $ store_pos $ no_verify $ store_fsync_arg $ output_arg
        $ spanner_out))
   in
   Cmd.v
@@ -1358,6 +1381,352 @@ let crashtest_cmd =
           under $(b,STORE) for inspection.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let module Delta = Rs_dynamic.Delta in
+  let module Service = Rs_serve.Service in
+  let readers_arg =
+    Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N" ~doc:"Reader domains answering queries.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded queue capacity (deltas and queries); overflow is rejected \
+             with a reason, never buffered without bound.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 1.0
+         & info [ "deadline" ] ~docv:"SECS" ~doc:"Default per-query deadline.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "repair-budget" ] ~docv:"SECS"
+          ~doc:
+            "Per-batch repair wall budget; repeated overruns trip the circuit \
+             breaker into batched-rebuild mode.")
+  in
+  let trips_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-trips" ] ~docv:"N"
+          ~doc:"Consecutive over-budget or fully escalated repairs that open the breaker.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "watchdog" ] ~docv:"SECS"
+          ~doc:"Writer heartbeat staleness declaring it wedged; 0 disables the watchdog.")
+  in
+  let health_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health-file" ] ~docv:"FILE"
+          ~doc:
+            "Continuously publish a one-line liveness/readiness probe to $(docv) \
+             (written by temp-file-plus-rename, so probes never read a torn line).")
+  in
+  let ephemeral_arg =
+    Arg.(
+      value & flag
+      & info [ "ephemeral" ]
+          ~doc:
+            "Keep state in memory only: no WAL, no snapshots, watchdog failover \
+             allowed. Conflicts with --wal.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Read serve commands from $(docv) instead of stdin, then drain and exit.")
+  in
+  let graph_opt = Arg.(value & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc:"Initial topology (omit to recover state from --wal).") in
+  let print_response label (r : Service.response) =
+    let ints xs = String.concat " " (List.map string_of_int xs) in
+    let stale = if r.Service.stale then " [stale]" else "" in
+    (match r.Service.answer with
+    | Error Service.Timeout -> Printf.printf "%s: timeout\n" label
+    | Error (Service.Overloaded reason) -> Printf.printf "%s: overloaded (%s)\n" label reason
+    | Error (Service.Bad_request m) -> Printf.printf "%s: bad request (%s)\n" label m
+    | Ok (Service.Route_a { path = None; shortest }) ->
+        Printf.printf "%s: unreachable (shortest %d)%s\n" label shortest stale
+    | Ok (Service.Route_a { path = Some p; shortest }) ->
+        Printf.printf "%s: %s (%d hops, shortest %d)%s\n" label (ints p)
+          (List.length p - 1) shortest stale
+    | Ok (Service.Paths_a None) -> Printf.printf "%s: none%s\n" label stale
+    | Ok (Service.Paths_a (Some ps)) ->
+        Printf.printf "%s: %s%s\n" label (String.concat " | " (List.map ints ps)) stale
+    | Ok (Service.Advert_a ns) -> Printf.printf "%s: %s%s\n" label (ints ns) stale
+    | Ok (Service.Stats_a { n; m; spanner; advert; seq }) ->
+        Printf.printf "%s: n=%d m=%d spanner=%d advert=%d seq=%d%s\n" label n m
+          spanner advert seq stale
+    | Ok (Service.Status_a _) -> Printf.printf "%s: ok\n" label);
+    flush stdout
+  in
+  let run () algo eps k readers queue deadline budget trips watchdog health_file
+      ephemeral script wal fsync graph_file =
+    (* misuse exits in one line before any state is touched *)
+    if readers < 1 then Error (`Msg "serve: --readers must be >= 1")
+    else if queue < 1 then Error (`Msg "serve: --queue must be >= 1")
+    else if deadline <= 0. then
+      Error (`Msg (Printf.sprintf "serve: --deadline must be positive (got %g)" deadline))
+    else if budget <= 0. then
+      Error (`Msg (Printf.sprintf "serve: --repair-budget must be positive (got %g)" budget))
+    else if trips < 1 then Error (`Msg "serve: --breaker-trips must be >= 1")
+    else if watchdog < 0. then Error (`Msg "serve: --watchdog must be >= 0 (0 disables)")
+    else if ephemeral && wal <> None then
+      Error (`Msg "serve: --ephemeral conflicts with --wal (pick one state backend)")
+    else
+      match resolve_fsync ~wal fsync with
+      | Error e -> Error e
+      | Ok fsync -> (
+          match repair_spec_of algo ~eps ~k with
+          | Error e -> Error e
+          | Ok spec -> (
+              let serve backend =
+                let cfg =
+                  { Service.default_config with
+                    readers; ingest_capacity = queue; request_capacity = queue;
+                    deadline_s = deadline; repair_budget_s = budget;
+                    breaker_trips = trips; watchdog_s = watchdog; health_file }
+                in
+                let svc = Service.start cfg backend in
+                let stop_flag = Atomic.make false in
+                let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+                let old_term = Sys.signal Sys.sigterm handler in
+                let old_int = Sys.signal Sys.sigint handler in
+                let g0, _ = Service.peek svc in
+                Logs.app (fun m ->
+                    m "serve: ready at seq %d (n=%d m=%d, readers=%d)"
+                      (Service.view_seq svc) (Graph.n g0) (Graph.m g0) readers);
+                let exec line =
+                  let line = String.trim line in
+                  if line = "" || line.[0] = '#' then `Continue
+                  else
+                    let parts =
+                      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+                    in
+                    let node s =
+                      match int_of_string_opt s with
+                      | Some v -> v
+                      | None -> failwith ("not an integer: " ^ s)
+                    in
+                    match parts with
+                    | [ "quit" ] -> `Quit
+                    | [ "status" ] ->
+                        print_endline (Service.health svc);
+                        flush stdout;
+                        `Continue
+                    | [ "stats" ] ->
+                        print_response "stats" (Service.query svc Service.Stats);
+                        `Continue
+                    | [ "route"; a; b ] ->
+                        print_response
+                          (Printf.sprintf "route %s %s" a b)
+                          (Service.query svc (Service.Route { src = node a; dst = node b }));
+                        `Continue
+                    | [ "paths"; a; b; kk ] ->
+                        print_response
+                          (Printf.sprintf "paths %s %s %s" a b kk)
+                          (Service.query svc
+                             (Service.Paths { src = node a; dst = node b; k = node kk }));
+                        `Continue
+                    | [ "advert"; u ] ->
+                        print_response
+                          (Printf.sprintf "advert %s" u)
+                          (Service.query svc (Service.Advert (node u)));
+                        `Continue
+                    | "delta" :: rest when rest <> [] -> (
+                        match Delta.parse (String.concat " " rest) with
+                        | exception Failure m ->
+                            Printf.printf "delta rejected: %s\n" m;
+                            flush stdout;
+                            `Continue
+                        | d ->
+                            (match Service.offer svc d with
+                            | Ok () -> print_endline "delta accepted"
+                            | Error reason -> Printf.printf "delta rejected: %s\n" reason);
+                            flush stdout;
+                            `Continue)
+                    | [ "drain" ] ->
+                        let deadline_at = Unix.gettimeofday () +. 60.0 in
+                        let rec wait () =
+                          if Atomic.get stop_flag || Service.idle svc then ()
+                          else if Unix.gettimeofday () > deadline_at then
+                            print_endline "drain: timed out"
+                          else begin
+                            Unix.sleepf 0.01;
+                            wait ()
+                          end
+                        in
+                        wait ();
+                        Printf.printf "drained at seq %d\n" (Service.view_seq svc);
+                        flush stdout;
+                        `Continue
+                    | [ "sleep"; s ] ->
+                        (match float_of_string_opt s with
+                        | Some dt when dt >= 0. -> Unix.sleepf dt
+                        | _ -> print_endline "sleep: not a duration");
+                        flush stdout;
+                        `Continue
+                    | cmd :: _ ->
+                        Printf.printf "error: unknown command '%s'\n" cmd;
+                        flush stdout;
+                        `Continue
+                    | [] -> `Continue
+                in
+                let exec line =
+                  match exec line with
+                  | r -> r
+                  | exception Failure m ->
+                      Printf.printf "error: %s\n" m;
+                      flush stdout;
+                      `Continue
+                in
+                (match script with
+                | Some file ->
+                    let lines = In_channel.with_open_text file In_channel.input_lines in
+                    let rec go = function
+                      | [] -> ()
+                      | l :: rest ->
+                          if Atomic.get stop_flag then ()
+                          else if exec l = `Quit then ()
+                          else go rest
+                    in
+                    go lines
+                | None ->
+                    (* stdin, interruptible: poll so SIGTERM lands between
+                       commands and the drain-snapshot-exit path runs *)
+                    let buf = Buffer.create 256 in
+                    let chunk = Bytes.create 4096 in
+                    let quit = ref false in
+                    let feed k =
+                      Buffer.add_subbytes buf chunk 0 k;
+                      let rec lines () =
+                        let s = Buffer.contents buf in
+                        match String.index_opt s '\n' with
+                        | None -> ()
+                        | Some i ->
+                            Buffer.clear buf;
+                            Buffer.add_string buf
+                              (String.sub s (i + 1) (String.length s - i - 1));
+                            if exec (String.sub s 0 i) = `Quit then quit := true
+                            else lines ()
+                      in
+                      lines ()
+                    in
+                    let rec loop () =
+                      if not (!quit || Atomic.get stop_flag) then
+                        match Unix.select [ Unix.stdin ] [] [] 0.1 with
+                        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+                        | [], _, _ -> loop ()
+                        | _ ->
+                            let k = Unix.read Unix.stdin chunk 0 (Bytes.length chunk) in
+                            if k > 0 then begin
+                              feed k;
+                              loop ()
+                            end
+                    in
+                    loop ());
+                let st = Service.stop svc in
+                Sys.set_signal Sys.sigterm old_term;
+                Sys.set_signal Sys.sigint old_int;
+                Logs.app (fun m ->
+                    m
+                      "serve: drained and stopped at seq %d (accepted %d, rejected \
+                       %d, timeouts %d, stale reads %d)"
+                      st.Service.s_seq st.Service.s_accepted st.Service.s_rejected
+                      st.Service.s_timeouts st.Service.s_stale_reads);
+                Ok ()
+              in
+              match (wal, graph_file) with
+              | None, None ->
+                  Error (`Msg "serve: need a GRAPH file or --wal STORE to serve from")
+              | None, Some file ->
+                  with_graph file @@ fun g ->
+                  serve (Service.Ephemeral { specs = [ spec ]; g })
+              | Some dir, Some file ->
+                  with_graph file @@ fun g ->
+                  catch_store @@ fun () ->
+                  serve (Service.Durable (Store.create ~policy:fsync ~dir ~specs:[ spec ] g))
+              | Some dir, None ->
+                  catch_store @@ fun () ->
+                  let store, r = Store.recover ~policy:fsync ~verify:true ~dir () in
+                  Logs.app (fun m -> m "%a" Store.pp_recovery r);
+                  serve (Service.Durable store)))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ readers_arg
+       $ queue_arg $ deadline_arg $ budget_arg $ trips_arg $ watchdog_arg
+       $ health_arg $ ephemeral_arg $ script_arg $ wal_arg $ fsync_arg
+       $ graph_opt))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident spanner service: a writer domain folds topology deltas through \
+          incremental repair while reader domains answer route / disjoint-path / \
+          advertisement queries from immutable published snapshots. Overload is \
+          rejected with a reason, slow repairs trip a circuit breaker into \
+          batched rebuilds (readers serve stale-flagged answers meanwhile), a \
+          watchdog handles a wedged writer, SIGTERM drains and snapshots, and \
+          --wal makes the whole lifecycle crash-safe.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* chaostest *)
+
+let chaostest_cmd =
+  let module Chaos = Rs_serve.Chaos in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.") in
+  let n =
+    Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Vertex count of the base graph.")
+  in
+  let batches =
+    Arg.(
+      value & opt int 10
+      & info [ "batches" ] ~docv:"B" ~doc:"Random delta batches driven through each scenario.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Run a single scenario: %s."
+               (String.concat ", " Chaos.names)))
+  in
+  let run () seed n batches scenario dir =
+    catch_store @@ fun () ->
+    match Chaos.run ~seed ~n ~batches ?only:scenario ~dir () with
+    | exception Invalid_argument m -> Error (`Msg m)
+    | report ->
+        Logs.app (fun m -> m "%a" Chaos.pp_report report);
+        if Chaos.ok report then Ok ()
+        else Error (`Msg "service chaos uncovered failures")
+  in
+  let term =
+    Term.(term_result (const run $ obs_term $ seed $ n $ batches $ scenario $ store_pos))
+  in
+  Cmd.v
+    (Cmd.info "chaostest"
+       ~doc:
+         "Service-level chaos: stand up the resident service with concurrent \
+          client load, kill the writer mid-repair, tear the WAL across a \
+          restart, saturate the bounded ingest queue, and wedge the writer under \
+          a watchdog — each scenario must end in a state equivalent to a \
+          from-scratch build, with readers answering (stale-flagged at worst) \
+          throughout.")
+    term
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.App);
@@ -1367,6 +1736,6 @@ let () =
     Cmd.group info
       [ gen_cmd; build_cmd; profile_cmd; top_cmd; sim_cmd; periodic_cmd; verify_cmd;
         stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd;
-        snapshot_cmd; recover_cmd; crashtest_cmd ]
+        snapshot_cmd; recover_cmd; crashtest_cmd; serve_cmd; chaostest_cmd ]
   in
   exit (Cmd.eval group)

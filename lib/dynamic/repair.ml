@@ -86,6 +86,7 @@ type t = {
 
 let graph st = st.g
 let spanner st = st.spanner
+let publish st = (st.g, st.spanner)
 
 let pairs st =
   List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) st.counts [])

@@ -79,6 +79,15 @@ val pairs : t -> (int * int) list
 (** The spanner as sorted canonical pairs — host-independent, for
     equivalence checks against a from-scratch build. *)
 
+val publish : t -> Graph.t * Edge_set.t
+(** The current [(graph, spanner)] pair as an immutable snapshot:
+    {!apply} replaces both values wholesale (a fresh graph and a fresh
+    edge set are built for every non-quiescent delta) and never
+    mutates a previously returned one, so the pair may be handed to
+    concurrent reader domains and stays valid — frozen at this
+    generation — across later applies. This is the publication seam
+    the resident service's atomic snapshot pointer is built on. *)
+
 val tree_edges : t -> int -> (int * int) list
 (** [(parent, child)] edges of the maintained tree of one root,
     shallow-first. *)

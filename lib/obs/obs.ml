@@ -247,6 +247,19 @@ let observe h v =
     else cell.hc_zero <- cell.hc_zero + 1
   end
 
+let time_ms h f =
+  if enabled () then begin
+    let t0 = now () in
+    match f () with
+    | v ->
+        observe h ((now () -. t0) *. 1000.0);
+        v
+    | exception e ->
+        observe h ((now () -. t0) *. 1000.0);
+        raise e
+  end
+  else f ()
+
 (* merged snapshot of one histogram; [hs_buckets] is by bucket index *)
 type hsnap = {
   hs_count : int;

@@ -75,6 +75,12 @@ val quantile : histogram -> float -> float
     everything observed so far, within 2% relative error, clamped to
     the exact [min, max] envelope. [0.0] when empty. *)
 
+val time_ms : histogram -> (unit -> 'a) -> 'a
+(** [time_ms h f] runs [f] and observes its wall time in milliseconds
+    — the service layer's latency-histogram idiom. Exceptions
+    propagate after the observation; when disabled this is exactly
+    [f ()]. *)
+
 (** {1 Spans} — the continuous profile.
 
     [with_span] maintains a {e call tree}: a span opened inside

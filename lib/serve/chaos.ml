@@ -1,0 +1,491 @@
+open Rs_graph
+open Rs_dynamic
+module Store = Rs_store.Store
+module Wal = Rs_store.Wal
+module Verify = Rs_core.Verify
+
+let names =
+  [ "kill-writer-mid-repair"; "torn-wal-restart"; "queue-saturation";
+    "wedged-writer-failover" ]
+
+type failure = { scenario : string; reason : string }
+
+type report = {
+  scenarios : int;
+  queries_ok : int;
+  stale_served : int;
+  rejections : int;
+  failovers : int;
+  failures : failure list;
+}
+
+let ok r = r.scenarios > 0 && r.failures = []
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>chaos scenarios: %d (%d queries answered, %d stale-flagged, %d \
+     rejections, %d failovers)"
+    r.scenarios r.queries_ok r.stale_served r.rejections r.failovers;
+  List.iter
+    (fun f -> Format.fprintf fmt "@,FAIL %s: %s" f.scenario f.reason)
+    r.failures;
+  Format.fprintf fmt "@]"
+
+(* {1 Filesystem scratchpads} — same flat-directory helpers as the
+   crash harness *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let copy_dir src dst =
+  rm_rf dst;
+  mkdir_p dst;
+  Array.iter
+    (fun name ->
+      let data = In_channel.with_open_bin (Filename.concat src name) In_channel.input_all in
+      Out_channel.with_open_bin (Filename.concat dst name) (fun oc ->
+          Out_channel.output_string oc data))
+    (Sys.readdir src)
+
+let truncate_file path len = Unix.truncate path len
+
+(* {1 Random churn} — the crash harness's op mix *)
+
+let random_op rand g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let pick () = Rand.int rand n in
+  match Rand.int rand 100 with
+  | r when r < 45 || m = 0 ->
+      let rec go tries =
+        let u = pick () and v = pick () in
+        if u = v then go tries
+        else if Graph.mem_edge g u v && tries > 0 then go (tries - 1)
+        else Delta.Add_edge (u, v)
+      in
+      go 8
+  | r when r < 80 ->
+      let u, v = Graph.edge g (Rand.int rand m) in
+      Delta.Remove_edge (u, v)
+  | r when r < 90 -> Delta.Node_down (pick ())
+  | _ ->
+      let u = pick () in
+      let links =
+        List.init
+          (1 + Rand.int rand 3)
+          (fun _ ->
+            let rec go () =
+              let v = pick () in
+              if v = u then go () else v
+            in
+            go ())
+        |> List.sort_uniq compare
+      in
+      Delta.Node_up (u, links)
+
+let random_delta rand g =
+  let rec go tries =
+    let ops = List.init (1 + Rand.int rand 3) (fun _ -> random_op rand g) in
+    match Delta.effect g ops with
+    | [], [] when tries > 0 -> go (tries - 1)
+    | _ -> ops
+  in
+  go 16
+
+(* {1 Gates} *)
+
+let wait_until ?(timeout = 20.0) ~what pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      failwith ("timed out waiting for " ^ what)
+    else begin
+      Unix.sleepf 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let degraded svc =
+  match (Service.status svc).Service.s_state with
+  | Service.Degraded _ -> true
+  | Service.Serving | Service.Rebuilding -> false
+
+(* The recovery gate of the crash harness, applied to a live view: the
+   surviving spanners must equal a from-scratch build on the surviving
+   graph and honor their paper guarantee. *)
+let verify_state ~what g spanners =
+  List.iter
+    (fun (spec, sp) ->
+      if Edge_set.to_list sp <> Edge_set.to_list (Repair.build spec g) then
+        failwith
+          (Format.asprintf "%s: %a spanner diverges from a from-scratch build"
+             what Repair.pp_spec spec);
+      match Repair.alpha_beta spec with
+      | Some (alpha, beta) ->
+          if not (Verify.is_remote_spanner g sp ~alpha ~beta) then
+            failwith
+              (Format.asprintf "%s: %a spanner violates its (%.1f, %.1f) guarantee"
+                 what Repair.pp_spec spec alpha beta)
+      | None -> ())
+    spanners
+
+(* {1 Concurrent client load} — real reader traffic during every
+   scenario; a [Bad_request] or a hung await is a harness failure *)
+
+type clients = {
+  cl_served : int Atomic.t;
+  cl_stale : int Atomic.t;
+  cl_soft : int Atomic.t;  (** timeouts and overload rejections — allowed *)
+  cl_bad_m : Mutex.t;
+  mutable cl_bad : string list;
+  cl_stop : bool Atomic.t;
+  mutable cl_domains : unit Domain.t array;
+}
+
+let spawn_clients svc ~seed ~n ~count =
+  let cl =
+    { cl_served = Atomic.make 0; cl_stale = Atomic.make 0; cl_soft = Atomic.make 0;
+      cl_bad_m = Mutex.create (); cl_bad = []; cl_stop = Atomic.make false;
+      cl_domains = [||] }
+  in
+  cl.cl_domains <-
+    Array.init count (fun i ->
+        Domain.spawn (fun () ->
+            let rand = Rand.create (seed + (7919 * (i + 1))) in
+            while not (Atomic.get cl.cl_stop) do
+              let q =
+                match Rand.int rand 4 with
+                | 0 -> Service.Stats
+                | 1 -> Service.Status
+                | 2 -> Service.Route { src = Rand.int rand n; dst = Rand.int rand n }
+                | _ -> Service.Advert (Rand.int rand n)
+              in
+              let r = Service.query ~deadline_s:2.0 svc q in
+              (match r.Service.answer with
+              | Ok _ ->
+                  Atomic.incr cl.cl_served;
+                  if r.Service.stale then Atomic.incr cl.cl_stale
+              | Error (Service.Timeout | Service.Overloaded _) ->
+                  Atomic.incr cl.cl_soft
+              | Error (Service.Bad_request m) ->
+                  Mutex.lock cl.cl_bad_m;
+                  cl.cl_bad <- m :: cl.cl_bad;
+                  Mutex.unlock cl.cl_bad_m);
+              Unix.sleepf 0.001
+            done));
+  cl
+
+let join_clients cl =
+  Atomic.set cl.cl_stop true;
+  Array.iter Domain.join cl.cl_domains;
+  match cl.cl_bad with
+  | [] -> ()
+  | m :: _ ->
+      failwith
+        (Printf.sprintf "clients saw %d Bad_request responses (e.g. %s)"
+           (List.length cl.cl_bad) m)
+
+type outcome = { o_queries : int; o_stale : int; o_rejected : int; o_failovers : int }
+
+let outcome_of cl (st : Service.status) =
+  { o_queries = Atomic.get cl.cl_served; o_stale = Atomic.get cl.cl_stale;
+    o_rejected = st.Service.s_rejected; o_failovers = st.Service.s_failovers }
+
+(* {1 Scenarios} *)
+
+(* The writer dies after the WAL append, before repair and
+   publication. Readers must keep answering from the last view;
+   recovery from a directory copy must land exactly on the crash
+   sequence number and verify. *)
+let kill_writer_mid_repair ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "kill-writer-mid-repair" in
+  rm_rf base;
+  let store = Store.create ~policy:Wal.Always ~segment_bytes:512 ~dir:base ~specs g0 in
+  let crash_at = 1 + (batches / 2) in
+  let crashed = Atomic.make false in
+  let hook seq delta =
+    if seq >= crash_at && not (Atomic.get crashed) then begin
+      Atomic.set crashed true;
+      (* the delta reached the log; the repair never ran *)
+      ignore (Store.append ~repair:false store delta);
+      failwith "chaos: writer killed mid-repair"
+    end
+  in
+  let cfg =
+    { Service.default_config with
+      readers = 2; batch_max = 1; watchdog_s = 0.; before_apply = Some hook }
+  in
+  let svc = Service.start cfg (Service.Durable store) in
+  let cl = spawn_clients svc ~seed:(17 * n) ~n ~count:2 in
+  let expected = Array.make (batches + 1) g0 in
+  (try
+     for i = 1 to batches do
+       let d = random_delta rand expected.(i - 1) in
+       expected.(i) <- Delta.apply expected.(i - 1) d;
+       (match Service.offer svc d with Ok () -> () | Error _ -> raise Exit);
+       wait_until ~what:"delta ingest (or writer death)" (fun () ->
+           Service.ingested_seq svc >= i || degraded svc);
+       if degraded svc then raise Exit
+     done
+   with Exit -> ());
+  if not (Atomic.get crashed) then failwith "the kill hook never fired";
+  wait_until ~what:"degraded state after writer death" (fun () -> degraded svc);
+  (match (Service.query ~deadline_s:2.0 svc Service.Stats).Service.answer with
+  | Ok _ -> ()
+  | Error _ -> failwith "degraded service stopped answering reads");
+  (match Service.offer svc [ Delta.Add_edge (0, 1) ] with
+  | Error _ -> ()
+  | Ok () -> failwith "degraded service accepted a delta it can never apply");
+  join_clients cl;
+  Service.kill svc;
+  let copy = base ^ "-recover" in
+  copy_dir base copy;
+  let st2, info = Store.recover ~policy:Wal.Always ~verify:true ~dir:copy () in
+  if info.Store.last_seq <> crash_at then
+    failwith
+      (Printf.sprintf "recovered to seq %d, the crash landed at %d"
+         info.Store.last_seq crash_at);
+  if not (Graph.equal (Store.graph st2) expected.(crash_at)) then
+    failwith "recovered topology diverges from the reference";
+  (* the recovered store must serve and ingest again *)
+  let svc2 =
+    Service.start
+      { Service.default_config with readers = 1; batch_max = 1; watchdog_s = 0. }
+      (Service.Durable st2)
+  in
+  let d = random_delta rand expected.(crash_at) in
+  (match Service.offer svc2 d with
+  | Ok () -> ()
+  | Error e -> failwith ("restarted service rejected a delta: " ^ e));
+  wait_until ~what:"post-recovery ingest" (fun () ->
+      Service.ingested_seq svc2 >= crash_at + 1);
+  wait_until ~what:"post-recovery publication" (fun () ->
+      Service.view_seq svc2 = Service.ingested_seq svc2);
+  let g_fin, spanners = Service.peek svc2 in
+  verify_state ~what:"kill-writer-mid-repair" g_fin spanners;
+  let st = Service.stop svc2 in
+  outcome_of cl st
+
+(* SIGKILL without a clean close, then a torn WAL tail: recovery keeps
+   the verified prefix; re-offering the lost delta converges back to
+   the reference topology. *)
+let torn_wal_restart ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "torn-wal-restart" in
+  rm_rf base;
+  let store = Store.create ~policy:Wal.Always ~segment_bytes:512 ~dir:base ~specs g0 in
+  let cfg =
+    { Service.default_config with readers = 2; batch_max = 1; watchdog_s = 0. }
+  in
+  let svc = Service.start cfg (Service.Durable store) in
+  let cl = spawn_clients svc ~seed:(29 * n) ~n ~count:2 in
+  let expected = Array.make (batches + 1) g0 in
+  let deltas = Array.make (batches + 1) [] in
+  for i = 1 to batches do
+    let d = random_delta rand expected.(i - 1) in
+    deltas.(i) <- d;
+    expected.(i) <- Delta.apply expected.(i - 1) d;
+    (match Service.offer svc d with
+    | Ok () -> ()
+    | Error e -> failwith ("offer rejected: " ^ e));
+    wait_until ~what:"delta ingest" (fun () -> Service.ingested_seq svc >= i)
+  done;
+  join_clients cl;
+  Service.kill svc;
+  (* Wal.Always means every record reached the kernel before the kill *)
+  let copy = base ^ "-recover" in
+  copy_dir base copy;
+  let scan = Wal.scan_dir ~dir:copy ~after_seq:0 in
+  (match scan.Wal.truncation with
+  | Some tr ->
+      failwith (Format.asprintf "pristine WAL already damaged: %a" Wal.pp_truncation tr)
+  | None -> ());
+  let last =
+    match List.rev scan.Wal.records with
+    | r :: _ -> r
+    | [] -> failwith "pristine WAL holds no records"
+  in
+  if last.Wal.seq <> batches then
+    failwith (Printf.sprintf "WAL tail is seq %d, expected %d" last.Wal.seq batches);
+  (* tear the tail record mid-header *)
+  truncate_file last.Wal.file (last.Wal.offset + 8);
+  let st2, info = Store.recover ~policy:Wal.Always ~verify:true ~dir:copy () in
+  if info.Store.truncated = None then failwith "recovery did not report the torn tail";
+  if info.Store.last_seq <> batches - 1 then
+    failwith
+      (Printf.sprintf "recovered to seq %d, the verified prefix ends at %d"
+         info.Store.last_seq (batches - 1));
+  if not (Graph.equal (Store.graph st2) expected.(batches - 1)) then
+    failwith "recovered topology diverges from the reference prefix";
+  (* restart, re-offer the lost delta, converge to the reference *)
+  let svc2 =
+    Service.start
+      { Service.default_config with readers = 1; batch_max = 1; watchdog_s = 0. }
+      (Service.Durable st2)
+  in
+  (match Service.offer svc2 deltas.(batches) with
+  | Ok () -> ()
+  | Error e -> failwith ("restarted service rejected the lost delta: " ^ e));
+  wait_until ~what:"re-offered delta" (fun () -> Service.ingested_seq svc2 >= batches);
+  wait_until ~what:"post-restart publication" (fun () ->
+      Service.view_seq svc2 = Service.ingested_seq svc2);
+  let g_fin, spanners = Service.peek svc2 in
+  if not (Graph.equal g_fin expected.(batches)) then
+    failwith "restarted service did not converge back to the reference topology";
+  verify_state ~what:"torn-wal-restart" g_fin spanners;
+  let st = Service.stop svc2 in
+  outcome_of cl st
+
+(* A tiny ingest queue, a slowed writer and a forced-escalation repair
+   config under a flood: overload must surface as explicit rejections
+   and stale-flagged reads, never unbounded memory, and the drained
+   state must verify. *)
+let queue_saturation ~rand ~specs ~n ~batches:_ ~dir:_ =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let capacity = 4 in
+  let cfg =
+    { Service.default_config with
+      readers = 2; ingest_capacity = capacity; batch_max = 2;
+      repair_budget_s = 1e-6 (* every repair is over budget *);
+      breaker_trips = 2; open_backlog = 4; watchdog_s = 0.;
+      dirty_radius = Some 0 (* under-estimated locality: the gate trips *);
+      before_apply = Some (fun _ _ -> Unix.sleepf 0.004) }
+  in
+  let svc = Service.start cfg (Service.Ephemeral { specs; g = g0 }) in
+  let cl = spawn_clients svc ~seed:(43 * n) ~n ~count:2 in
+  let floods = 300 in
+  let accepted = ref 0 and rejected = ref 0 in
+  for _ = 1 to floods do
+    (* ops generated against g0 stay valid whatever the live graph is *)
+    match Service.offer svc (random_delta rand g0) with
+    | Ok () -> incr accepted
+    | Error _ -> incr rejected
+  done;
+  if !rejected = 0 then failwith "the flood produced no rejections";
+  if !accepted = 0 then failwith "the flood was entirely rejected";
+  let depth = (Service.status svc).Service.s_queue in
+  if depth > capacity then
+    failwith (Printf.sprintf "queue depth %d exceeds capacity %d" depth capacity);
+  (* the breaker's log-and-defer window is where stale reads live:
+     catch one in the act *)
+  let saw_stale = ref false in
+  (try
+     wait_until ~timeout:30.0 ~what:"a stale-flagged read" (fun () ->
+         let r = Service.query ~deadline_s:2.0 svc Service.Stats in
+         (match r.Service.answer with
+         | Ok _ -> if r.Service.stale then saw_stale := true
+         | Error _ -> ());
+         !saw_stale
+         || Service.ingested_seq svc = Service.view_seq svc
+            && (Service.status svc).Service.s_queue = 0)
+   with Failure _ -> ());
+  wait_until ~timeout:60.0 ~what:"drain after the flood" (fun () ->
+      (Service.status svc).Service.s_queue = 0
+      && Service.ingested_seq svc = Service.view_seq svc);
+  join_clients cl;
+  let st = Service.stop svc in
+  if not (!saw_stale || st.Service.s_stale_reads > 0 || Atomic.get cl.cl_stale > 0)
+  then failwith "no stale-flagged read was observed under overload";
+  let g_fin, spanners = Service.peek svc in
+  verify_state ~what:"queue-saturation" g_fin spanners;
+  let o = outcome_of cl st in
+  { o with o_rejected = max o.o_rejected !rejected }
+
+(* The writer blocks forever mid-batch: the watchdog must bump the
+   epoch, fail over to a rebuilt writer, and the service must resume
+   ingesting — ending verified, with exactly one failover. *)
+let wedged_writer_failover ~rand ~specs ~n ~batches ~dir:_ =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let release = Atomic.make false in
+  let wedged = Atomic.make false in
+  let wedge_at = 1 + (batches / 2) in
+  let hook seq _ =
+    if seq >= wedge_at && not (Atomic.get wedged) then begin
+      Atomic.set wedged true;
+      (* wedge until the harness releases us; the epoch fence then
+         makes every later action of this writer a no-op *)
+      while not (Atomic.get release) do
+        Unix.sleepf 0.002
+      done
+    end
+  in
+  let cfg =
+    { Service.default_config with
+      readers = 2; batch_max = 1; watchdog_s = 0.25; before_apply = Some hook }
+  in
+  let svc = Service.start cfg (Service.Ephemeral { specs; g = g0 }) in
+  let cl = spawn_clients svc ~seed:(61 * n) ~n ~count:2 in
+  for i = 1 to batches do
+    let d = random_delta rand g0 in
+    let pre = Service.ingested_seq svc in
+    (match Service.offer svc d with
+    | Ok () -> ()
+    | Error e -> failwith ("offer rejected: " ^ e));
+    if i = wedge_at then
+      wait_until ~what:"watchdog failover" (fun () ->
+          (Service.status svc).Service.s_failovers >= 1)
+    else
+      wait_until ~what:"delta ingest" (fun () -> Service.ingested_seq svc >= pre + 1)
+  done;
+  wait_until ~what:"post-failover publication" (fun () ->
+      Service.view_seq svc = Service.ingested_seq svc);
+  join_clients cl;
+  let st = Service.stop svc in
+  if st.Service.s_failovers <> 1 then
+    failwith (Printf.sprintf "%d failovers recorded, expected exactly 1" st.Service.s_failovers);
+  if st.Service.s_epoch <> 2 then
+    failwith (Printf.sprintf "epoch %d after one failover, expected 2" st.Service.s_epoch);
+  let g_fin, spanners = Service.peek svc in
+  verify_state ~what:"wedged-writer-failover" g_fin spanners;
+  Atomic.set release true;
+  outcome_of cl st
+
+(* {1 The plan} *)
+
+let run ?(specs = [ Repair.Gdy_k { k = 1 }; Repair.Mis { r = 2 } ]) ?only ~seed ~n
+    ~batches ~dir () =
+  if batches < 4 then invalid_arg "Chaos.run: need at least 4 batches";
+  (match only with
+  | Some s when not (List.mem s names) ->
+      invalid_arg
+        (Printf.sprintf "Chaos.run: unknown scenario %s (known: %s)" s
+           (String.concat ", " names))
+  | _ -> ());
+  mkdir_p dir;
+  let rand = Rand.create seed in
+  let scenarios = ref 0 in
+  let queries = ref 0 and stale = ref 0 and rejected = ref 0 and failovers = ref 0 in
+  let failures = ref [] in
+  let scenario name f =
+    if only = None || only = Some name then begin
+      incr scenarios;
+      match f ~rand ~specs ~n ~batches ~dir with
+      | o ->
+          queries := !queries + o.o_queries;
+          stale := !stale + o.o_stale;
+          rejected := !rejected + o.o_rejected;
+          failovers := !failovers + o.o_failovers
+      | exception Failure reason -> failures := { scenario = name; reason } :: !failures
+      | exception e ->
+          failures :=
+            { scenario = name; reason = Printexc.to_string e } :: !failures
+    end
+  in
+  scenario "kill-writer-mid-repair" kill_writer_mid_repair;
+  scenario "torn-wal-restart" torn_wal_restart;
+  scenario "queue-saturation" queue_saturation;
+  scenario "wedged-writer-failover" wedged_writer_failover;
+  { scenarios = !scenarios; queries_ok = !queries; stale_served = !stale;
+    rejections = !rejected; failovers = !failovers; failures = List.rev !failures }

@@ -14,7 +14,10 @@ type t = {
   segment_bytes : int;
   mutable seq : int;
   mutable g : Graph.t;
-  states : (Repair.spec * Repair.t) list;
+  mutable states : (Repair.spec * Repair.t) list;
+  mutable states_stale : bool;
+      (* true after an [append ~repair:false]: [states] lag [g] and
+         must be re-derived by [rebuild] before they are served *)
   mutable wal : Wal.writer;
   mutable closed : bool;
 }
@@ -26,6 +29,8 @@ let rec mkdir_p dir =
   end
 
 let snapshot_value t =
+  if t.states_stale then
+    invalid_arg "Store.snapshot_value: spanner states are stale (rebuild first)";
   { Snapshot.seq = t.seq;
     graph = t.g;
     spanners =
@@ -40,7 +45,7 @@ let create ?(policy = Wal.Always) ?(segment_bytes = 1 lsl 20) ~dir ~specs g =
     failwith (Printf.sprintf "Store.create: %s already contains a store (recover it instead)" dir);
   let states = List.map (fun spec -> (spec, Repair.init spec g)) specs in
   let t =
-    { dir; policy; segment_bytes; seq = 0; g; states;
+    { dir; policy; segment_bytes; seq = 0; g; states; states_stale = false;
       wal = Wal.create_writer ~policy ~segment_bytes ~dir ~next_seq:1 (); closed = false }
   in
   ignore (Snapshot.write ~dir (snapshot_value t));
@@ -49,10 +54,18 @@ let create ?(policy = Wal.Always) ?(segment_bytes = 1 lsl 20) ~dir ~specs g =
 let graph t = t.g
 let seq t = t.seq
 let dir t = t.dir
-let states t = t.states
 
-let append t delta =
+let states t =
+  if t.states_stale then
+    invalid_arg "Store.states: spanner states are stale (rebuild first)";
+  t.states
+
+let states_stale t = t.states_stale
+
+let append ?(repair = true) t delta =
   if t.closed then invalid_arg "Store.append: store is closed";
+  if repair && t.states_stale then
+    invalid_arg "Store.append: spanner states are stale (rebuild first)";
   (* validate first — an invalid delta must not reach the log *)
   match Delta.effect t.g delta with
   | [], [] -> []
@@ -60,7 +73,20 @@ let append t delta =
       let seq = Wal.append t.wal delta in
       t.seq <- seq;
       t.g <- Delta.apply t.g delta;
-      List.map (fun (_, st) -> Repair.apply st delta) t.states
+      if repair then List.map (fun (_, st) -> Repair.apply st delta) t.states
+      else begin
+        (* log-and-defer: the WAL and graph advance, the maintained
+           spanners intentionally lag — the circuit-breaker path that
+           trades incremental repair for one batched [rebuild] *)
+        t.states_stale <- true;
+        []
+      end
+
+let rebuild t =
+  if t.closed then invalid_arg "Store.rebuild: store is closed";
+  Obs.with_span "store/rebuild" @@ fun () ->
+  t.states <- List.map (fun (spec, _) -> (spec, Repair.init spec t.g)) t.states;
+  t.states_stale <- false
 
 let sync_to t g' =
   match Delta.diff t.g g' with [] -> [] | delta -> append t delta
@@ -206,7 +232,7 @@ let recover ?(policy = Wal.Always) ?(segment_bytes = 1 lsl 20) ?(verify = false)
   | None -> ());
   if verify then Obs.with_span "verify" (fun () -> verify_states !g states);
   let t =
-    { dir; policy; segment_bytes; seq = !last; g = !g; states;
+    { dir; policy; segment_bytes; seq = !last; g = !g; states; states_stale = false;
       wal = Wal.create_writer ~policy ~segment_bytes ~dir ~next_seq:(!last + 1) ();
       closed = false }
   in

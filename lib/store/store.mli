@@ -44,15 +44,37 @@ val seq : t -> int
 (** Sequence number of the last appended delta; 0 when fresh. *)
 
 val dir : t -> string
-val states : t -> (Repair.spec * Repair.t) list
 
-val append : t -> Delta.t -> Repair.outcome list
+val states : t -> (Repair.spec * Repair.t) list
+(** Raises [Invalid_argument] while the states are stale (see
+    {!append}'s [~repair:false] and {!rebuild}). *)
+
+val states_stale : t -> bool
+(** True between an [append ~repair:false] and the {!rebuild} that
+    re-derives the spanner states from the advanced graph. *)
+
+val append : ?repair:bool -> t -> Delta.t -> Repair.outcome list
 (** Log-then-apply: validate the delta against the current graph,
     append it to the WAL, then heal every maintained spanner through
     {!Repair.apply}. A delta with empty net effect is skipped entirely
     (nothing logged, nothing returned) — quiescence stays free and the
     log stays dense. Raises [Invalid_argument] on an invalid delta,
-    {e before} anything is written. *)
+    {e before} anything is written.
+
+    [~repair:false] is the circuit-breaker path of the resident
+    service: the delta is logged and the graph advances, but the
+    maintained spanners are {e not} repaired — they are marked stale
+    and every stale-sensitive operation ({!states}, {!snapshot_value},
+    {!write_snapshot}, {!compact}, and [append ~repair:true] itself)
+    raises until {!rebuild} folds the backlog in. Durability is
+    unaffected: the WAL already holds every delta, so a crash in the
+    stale window recovers normally. *)
+
+val rebuild : t -> unit
+(** Replace every maintained spanner with a from-scratch
+    {!Repair.init} on the current graph and clear the stale flag — the
+    batched alternative to per-delta incremental repair. Records a
+    [store/rebuild] span. *)
 
 val sync_to : t -> Rs_graph.Graph.t -> Repair.outcome list
 (** [append] the {!Delta.diff} from the current graph to the given

@@ -23,9 +23,9 @@ with concrete violations.
   $ rspan verify --alpha 1 --beta 0 g.txt tree.txt
   violation: (1 -> 2: d_G=4, d_Hu=5)
   violation: (1 -> 4: d_G=4, d_Hu=6)
-  violation: (1 -> 5: d_G=4, d_Hu=7)
+  violation: (1 -> 5: d_G=4, d_Hu=5)
   violation: (1 -> 7: d_G=5, d_Hu=7)
-  violation: (1 -> 8: d_G=2, d_Hu=5)
+  violation: (1 -> 8: d_G=2, d_Hu=7)
   rspan: stretch violated
   [124]
 
@@ -139,3 +139,53 @@ recover to the exact pre-crash state or a verified prefix of history.
   $ rspan crashtest --seed 7 -n 30 --batches 8 scratch
   crash sites: 14 (6 exact recoveries, 8 verified prefixes)
   round trip: byte-identical
+
+The resident service: a scripted session against the same graph —
+queries answer from published views, a delta is ingested, drained, and
+visible to the next read; SIGTERM-equivalent shutdown drains and
+reports the lifecycle counters.
+
+  $ cat > session.txt <<SCRIPT
+  > status
+  > stats
+  > route 0 1
+  > delta add 0 7
+  > drain
+  > status
+  > stats
+  > quit
+  > SCRIPT
+  $ rspan serve --ephemeral --script session.txt g.txt
+  serve: ready at seq 0 (n=60 m=322, readers=2)
+  state=serving seq=0 ingested=0 queue=0 breaker=closed epoch=1 accepted=0 rejected=0 timeouts=0 stale_reads=0 failovers=0
+  stats: n=60 m=322 spanner=170 advert=340 seq=0
+  route 0 1: 0 20 57 17 1 (4 hops, shortest 4)
+  delta accepted
+  drained at seq 1
+  state=serving seq=1 ingested=1 queue=0 breaker=closed epoch=1 accepted=1 rejected=0 timeouts=0 stale_reads=0 failovers=0
+  stats: n=60 m=323 spanner=177 advert=354 seq=1
+  serve: drained and stopped at seq 1 (accepted 1, rejected 0, timeouts 0, stale reads 0)
+
+Served from a write-ahead log, the same session is crash-safe: stop
+snapshots, and a fresh serve recovers the exact state.
+
+  $ rspan serve --script session.txt --wal svc_store g.txt
+  serve: ready at seq 0 (n=60 m=322, readers=2)
+  state=serving seq=0 ingested=0 queue=0 breaker=closed epoch=1 accepted=0 rejected=0 timeouts=0 stale_reads=0 failovers=0
+  stats: n=60 m=322 spanner=170 advert=340 seq=0
+  route 0 1: 0 20 57 17 1 (4 hops, shortest 4)
+  delta accepted
+  drained at seq 1
+  state=serving seq=1 ingested=1 queue=0 breaker=closed epoch=1 accepted=1 rejected=0 timeouts=0 stale_reads=0 failovers=0
+  stats: n=60 m=323 spanner=177 advert=354 seq=1
+  serve: drained and stopped at seq 1 (accepted 1, rejected 0, timeouts 0, stale reads 0)
+  $ cat > session2.txt <<SCRIPT
+  > stats
+  > quit
+  > SCRIPT
+  $ rspan serve --script session2.txt --wal svc_store
+  snapshot seq 1 (snap-00000000000000000001.rsnap)
+  replayed 0 WAL records -> seq 1
+  serve: ready at seq 1 (n=60 m=323, readers=2)
+  stats: n=60 m=323 spanner=177 advert=354 seq=1
+  serve: drained and stopped at seq 1 (accepted 0, rejected 0, timeouts 0, stale reads 0)

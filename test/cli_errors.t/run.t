@@ -166,3 +166,49 @@ is per-spec), so the dirty-radius override is rejected:
   $ rspan stats --stats=m.jsonl --stats-every 0 g.txt > /dev/null
   rspan: --stats-every must be positive
   [124]
+
+The resident service validates its lifecycle flags before touching any
+state. A non-positive deadline:
+
+  $ rspan serve --deadline 0 g.txt
+  rspan: serve: --deadline must be positive (got 0)
+  [124]
+
+Two state backends at once:
+
+  $ rspan serve --ephemeral --wal svc_store g.txt
+  rspan: serve: --ephemeral conflicts with --wal (pick one state backend)
+  [124]
+
+No initial topology and no log to recover one from:
+
+  $ rspan serve
+  rspan: serve: need a GRAPH file or --wal STORE to serve from
+  [124]
+
+A breaker that can never trip, a reader count that can never answer:
+
+  $ rspan serve --repair-budget=-1 g.txt
+  rspan: serve: --repair-budget must be positive (got -1)
+  [124]
+
+  $ rspan serve --readers 0 g.txt
+  rspan: serve: --readers must be >= 1
+  [124]
+
+--fsync tunes the WAL, so without one it is a contradiction — serve
+and heal agree on the diagnostic:
+
+  $ rspan serve --fsync never g.txt
+  rspan: --fsync requires --wal (there is no log to sync)
+  [124]
+
+  $ rspan heal --deltas one.txt --fsync every:4 g.txt
+  rspan: --fsync requires --wal (there is no log to sync)
+  [124]
+
+An unknown chaos scenario is named, not swallowed:
+
+  $ rspan chaostest --scenario no-such-chaos chaos_scratch
+  rspan: Chaos.run: unknown scenario no-such-chaos (known: kill-writer-mid-repair, torn-wal-restart, queue-saturation, wedged-writer-failover)
+  [124]

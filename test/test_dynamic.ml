@@ -117,6 +117,53 @@ let test_repair_crash_recover_batch () =
   check "recovery repaired locally" true (o.Repair.level = Repair.Local);
   check "equivalent after recovery" true (equivalent st)
 
+(* Back-to-back deltas where the second strikes inside the first's
+   dirty ball before any quiescent period: dirty-set tracking must not
+   assume the neighborhood it is repairing was clean when the delta
+   arrived. Regression shape for the serve writer, which feeds deltas
+   to one long-lived state with no gate between batches. *)
+let test_repair_overlapping_dirty_balls () =
+  let g = udg ~seed:37 ~n:120 ~density:4.0 in
+  let spec = Repair.Gdy_k { k = 1 } in
+  let st = Repair.init spec g in
+  (* first delta: drop an edge at a well-connected node *)
+  let u =
+    let best = ref 0 in
+    for v = 1 to Graph.n g - 1 do
+      if Graph.degree g v > Graph.degree g !best then best := v
+    done;
+    !best
+  in
+  let nbrs = Graph.neighbors g u in
+  let v = nbrs.(0) in
+  let o1 = Repair.apply st [ Delta.Remove_edge (u, v) ] in
+  check "first repair lands" true (o1.Repair.dirty > 0);
+  (* second delta: same node u and one of its still-present neighbors —
+     dead center of the ball the first repair just rebuilt *)
+  let w = nbrs.(1) in
+  let o2 = Repair.apply st [ Delta.Remove_edge (u, w) ] in
+  check "second repair overlaps the first ball" true (o2.Repair.dirty > 0);
+  check "equivalent after overlapping repairs" true (equivalent st);
+  (* third wave: the neighbor w goes down entirely, then everything is
+     restored in reverse order — each step against a still-warm ball *)
+  let w_links = Array.to_list (Graph.neighbors (Repair.graph st) w) in
+  ignore (Repair.apply st [ Delta.Node_down w ]);
+  check "equivalent after node-down in the same ball" true (equivalent st);
+  ignore (Repair.apply st [ Delta.Node_up (w, w_links) ]);
+  ignore (Repair.apply st [ Delta.Add_edge (u, w) ]);
+  ignore (Repair.apply st [ Delta.Add_edge (u, v) ]);
+  check "equivalent after full restore" true (equivalent st);
+  check "restore lands on the original build" true
+    (Repair.pairs st = pairs_of_set (Repair.build spec g));
+  (* the same collision as one batch must agree with the two-step path *)
+  let st2 = Repair.init spec g in
+  ignore (Repair.apply st2 [ Delta.Remove_edge (u, v); Delta.Remove_edge (u, w) ]);
+  let st3 = Repair.init spec g in
+  ignore (Repair.apply st3 [ Delta.Remove_edge (u, v) ]);
+  ignore (Repair.apply st3 [ Delta.Remove_edge (u, w) ]);
+  check "batched = sequential on overlapping deltas" true
+    (Repair.pairs st2 = Repair.pairs st3)
+
 let all_specs =
   [ Repair.Gdy_k { k = 1 }; Repair.Mis_k { k = 2 }; Repair.Mis { r = 3 };
     Repair.Gdy { r = 3; beta = 1 } ]
@@ -291,6 +338,7 @@ let () =
           Alcotest.test_case "quiescent" `Quick test_repair_quiescent;
           Alcotest.test_case "single edge" `Quick test_repair_single_edge;
           Alcotest.test_case "crash/recover" `Quick test_repair_crash_recover_batch;
+          Alcotest.test_case "overlapping dirty balls" `Quick test_repair_overlapping_dirty_balls;
           Alcotest.test_case "all specs" `Quick test_repair_all_specs;
           Alcotest.test_case "escalation ladder" `Quick test_escalation_ladder;
           Alcotest.test_case "incremental target" `Quick test_incremental_target;

@@ -215,6 +215,49 @@ let test_io_binary_corruption () =
   (* trailing garbage is a length mismatch, not silently ignored *)
   check "trailing bytes" true (corrupt (s ^ "\x00"))
 
+(* The declared edge count is validated against the physical byte
+   length BEFORE the checksum is read and before any edge array is
+   built: a trailer cut mid-CRC and a header promising edges past EOF
+   both die on the same one-line length diagnostic — the second
+   without allocating a quarter-billion-entry array first. *)
+let test_io_binary_bad_lengths () =
+  let s = Graph_io.to_binary_string (Gen.petersen ()) in
+  let failure_of f =
+    match f () with _ -> "decoded damaged input" | exception Failure m -> m
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  (* trailer cut mid-CRC: 1 to 3 of the 4 checksum bytes missing *)
+  List.iter
+    (fun k ->
+      let m =
+        failure_of (fun () ->
+            Graph_io.of_binary_string (String.sub s 0 (String.length s - k)))
+      in
+      check
+        (Printf.sprintf "CRC trailer short by %d -> length diagnostic" k)
+        true
+        (contains m "does not match"))
+    [ 1; 2; 3 ];
+  (* header promising 2^28-1 edges (over 2 GiB of payload that is not
+     there): the length check fires, Array.init never runs *)
+  let b = Bytes.of_string s in
+  Bytes.set_int32_le b 12 0x0FFFFFFFl;
+  let m_big = failure_of (fun () -> Graph_io.of_binary_string (Bytes.to_string b)) in
+  check "length past EOF names the bogus m" true
+    (contains m_big "does not match m=268435455");
+  (* same guard at the file entry point: one Failure line, not Out_of_memory *)
+  let file = Filename.temp_file "rspan" ".rsg" in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string b));
+  let m_file = failure_of (fun () -> Graph_io.read_binary file) in
+  Sys.remove file;
+  check "read_binary rejects it with the same diagnostic" true
+    (contains m_file "does not match")
+
 let test_io_binary_file_autodetect () =
   let file = Filename.temp_file "rspan" ".rsg" in
   let g = Gen.erdos_renyi (Rand.create 4) 40 0.15 in
@@ -274,6 +317,7 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "binary roundtrip" `Quick test_io_binary_roundtrip;
           Alcotest.test_case "binary corruption" `Quick test_io_binary_corruption;
+          Alcotest.test_case "binary bad lengths" `Quick test_io_binary_bad_lengths;
           Alcotest.test_case "binary autodetect" `Quick test_io_binary_file_autodetect;
           Alcotest.test_case "dot highlight" `Quick test_dot_output;
         ] );

@@ -195,6 +195,44 @@ let test_wal_torn_tail () =
     (rescan.Wal.truncation = None && List.length rescan.Wal.records = 5);
   rm_rf dir
 
+(* every:N batches fsyncs, but rotation must not extend the risk
+   window: sealing a segment flushes and fsyncs it regardless of how
+   few appends are unsynced, so once a record's segment has rotated
+   away it is recoverable even if the writer never closes (the crash
+   case) and the count never reached N. *)
+let test_wal_every_n_rotation () =
+  let dir = tmp_dir "wal_every_rot" in
+  Unix.mkdir dir 0o755;
+  (* N far above the append count: no count-triggered fsync ever runs;
+     tiny segments force several rotations *)
+  let w = Wal.create_writer ~policy:(Wal.Every 1_000_000) ~segment_bytes:64 ~dir ~next_seq:1 () in
+  List.iter (fun d -> ignore (Wal.append w d)) some_deltas;
+  let segs = Wal.segment_files ~dir in
+  check "rotated into several segments" true (List.length segs > 1);
+  (* crash now: the writer is abandoned, never flushed, never closed *)
+  let tail_first_seq, tail_seg = List.nth segs (List.length segs - 1) in
+  let scan = Wal.scan_dir ~dir ~after_seq:0 in
+  let seqs = List.map (fun r -> r.Wal.seq) scan.Wal.records in
+  check "every sealed-segment record survives the crash" true
+    (List.filteri (fun i _ -> i < tail_first_seq - 1) (List.mapi (fun i _ -> i + 1) some_deltas)
+    = List.filter (fun s -> s < tail_first_seq) seqs);
+  check "recovered records are a contiguous prefix" true
+    (seqs = List.mapi (fun i _ -> i + 1) seqs);
+  (match scan.Wal.truncation with
+  | Some tr -> check "any damage is confined to the open tail segment" true (tr.Wal.t_file = tail_seg)
+  | None -> ());
+  List.iter2
+    (fun r (i, d) ->
+      if r.Wal.seq < tail_first_seq then begin
+        check_int "sealed seq" i r.Wal.seq;
+        check "sealed payload intact" true (r.Wal.delta = d)
+      end)
+    scan.Wal.records
+    (List.filteri (fun i _ -> i < List.length scan.Wal.records)
+       (List.mapi (fun i d -> (i + 1, d)) some_deltas));
+  Wal.close_writer w;
+  rm_rf dir
+
 let test_wal_policy_parse () =
   check "always" true (Wal.policy_of_string "always" = Ok Wal.Always);
   check "never" true (Wal.policy_of_string "never" = Ok Wal.Never);
@@ -386,6 +424,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "every:N across rotation" `Quick test_wal_every_n_rotation;
           Alcotest.test_case "policy parse" `Quick test_wal_policy_parse;
         ] );
       ( "store",
