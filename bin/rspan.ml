@@ -1385,7 +1385,6 @@ let crashtest_cmd =
 (* serve *)
 
 let serve_cmd =
-  let module Delta = Rs_dynamic.Delta in
   let module Service = Rs_serve.Service in
   let readers_arg =
     Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N" ~doc:"Reader domains answering queries.")
@@ -1447,30 +1446,19 @@ let serve_cmd =
           ~doc:"Read serve commands from $(docv) instead of stdin, then drain and exit.")
   in
   let graph_opt = Arg.(value & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc:"Initial topology (omit to recover state from --wal).") in
-  let print_response label (r : Service.response) =
-    let ints xs = String.concat " " (List.map string_of_int xs) in
-    let stale = if r.Service.stale then " [stale]" else "" in
-    (match r.Service.answer with
-    | Error Service.Timeout -> Printf.printf "%s: timeout\n" label
-    | Error (Service.Overloaded reason) -> Printf.printf "%s: overloaded (%s)\n" label reason
-    | Error (Service.Bad_request m) -> Printf.printf "%s: bad request (%s)\n" label m
-    | Ok (Service.Route_a { path = None; shortest }) ->
-        Printf.printf "%s: unreachable (shortest %d)%s\n" label shortest stale
-    | Ok (Service.Route_a { path = Some p; shortest }) ->
-        Printf.printf "%s: %s (%d hops, shortest %d)%s\n" label (ints p)
-          (List.length p - 1) shortest stale
-    | Ok (Service.Paths_a None) -> Printf.printf "%s: none%s\n" label stale
-    | Ok (Service.Paths_a (Some ps)) ->
-        Printf.printf "%s: %s%s\n" label (String.concat " | " (List.map ints ps)) stale
-    | Ok (Service.Advert_a ns) -> Printf.printf "%s: %s%s\n" label (ints ns) stale
-    | Ok (Service.Stats_a { n; m; spanner; advert; seq }) ->
-        Printf.printf "%s: n=%d m=%d spanner=%d advert=%d seq=%d%s\n" label n m
-          spanner advert seq stale
-    | Ok (Service.Status_a _) -> Printf.printf "%s: ok\n" label);
-    flush stdout
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also serve over TCP at $(docv) (port 0 picks one): query \
+             sessions speak the same line protocol, and with --wal the \
+             endpoint additionally ships snapshots and streams WAL records \
+             to replicas ($(b,rspan replica), $(b,rspan ship)).")
   in
   let run () algo eps k readers queue deadline budget trips watchdog health_file
-      ephemeral script wal fsync graph_file =
+      ephemeral script tcp wal fsync graph_file =
     (* misuse exits in one line before any state is touched *)
     if readers < 1 then Error (`Msg "serve: --readers must be >= 1")
     else if queue < 1 then Error (`Msg "serve: --queue must be >= 1")
@@ -1483,12 +1471,34 @@ let serve_cmd =
     else if ephemeral && wal <> None then
       Error (`Msg "serve: --ephemeral conflicts with --wal (pick one state backend)")
     else
+      match
+        match tcp with
+        | None -> Ok None
+        | Some hp -> (
+            match Rs_net.Tcp.parse_hostport hp with
+            | Ok (h, p) -> Ok (Some (h, p))
+            | Error e -> Error (`Msg ("serve: --tcp " ^ e)))
+      with
+      | Error e -> Error e
+      | Ok tcp_addr -> (
       match resolve_fsync ~wal fsync with
       | Error e -> Error e
       | Ok fsync -> (
           match repair_spec_of algo ~eps ~k with
           | Error e -> Error e
           | Ok spec -> (
+              (* bind before opening any store: a taken port must be a
+                 one-line exit, not a half-initialized service *)
+              match
+                match tcp_addr with
+                | None -> Ok None
+                | Some (h, p) -> (
+                    match Rs_net.Tcp.listen ~host:h ~port:p with
+                    | Ok srv -> Ok (Some (h, p, srv))
+                    | Error e -> Error (`Msg ("serve: " ^ e)))
+              with
+              | Error e -> Error e
+              | Ok bound -> (
               let serve backend =
                 let cfg =
                   { Service.default_config with
@@ -1505,87 +1515,41 @@ let serve_cmd =
                 Logs.app (fun m ->
                     m "serve: ready at seq %d (n=%d m=%d, readers=%d)"
                       (Service.view_seq svc) (Graph.n g0) (Graph.m g0) readers);
-                let exec line =
-                  let line = String.trim line in
-                  if line = "" || line.[0] = '#' then `Continue
-                  else
-                    let parts =
-                      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-                    in
-                    let node s =
-                      match int_of_string_opt s with
-                      | Some v -> v
-                      | None -> failwith ("not an integer: " ^ s)
-                    in
-                    match parts with
-                    | [ "quit" ] -> `Quit
-                    | [ "status" ] ->
-                        print_endline (Service.health svc);
-                        flush stdout;
-                        `Continue
-                    | [ "stats" ] ->
-                        print_response "stats" (Service.query svc Service.Stats);
-                        `Continue
-                    | [ "route"; a; b ] ->
-                        print_response
-                          (Printf.sprintf "route %s %s" a b)
-                          (Service.query svc (Service.Route { src = node a; dst = node b }));
-                        `Continue
-                    | [ "paths"; a; b; kk ] ->
-                        print_response
-                          (Printf.sprintf "paths %s %s %s" a b kk)
-                          (Service.query svc
-                             (Service.Paths { src = node a; dst = node b; k = node kk }));
-                        `Continue
-                    | [ "advert"; u ] ->
-                        print_response
-                          (Printf.sprintf "advert %s" u)
-                          (Service.query svc (Service.Advert (node u)));
-                        `Continue
-                    | "delta" :: rest when rest <> [] -> (
-                        match Delta.parse (String.concat " " rest) with
-                        | exception Failure m ->
-                            Printf.printf "delta rejected: %s\n" m;
-                            flush stdout;
-                            `Continue
-                        | d ->
-                            (match Service.offer svc d with
-                            | Ok () -> print_endline "delta accepted"
-                            | Error reason -> Printf.printf "delta rejected: %s\n" reason);
-                            flush stdout;
-                            `Continue)
-                    | [ "drain" ] ->
-                        let deadline_at = Unix.gettimeofday () +. 60.0 in
-                        let rec wait () =
-                          if Atomic.get stop_flag || Service.idle svc then ()
-                          else if Unix.gettimeofday () > deadline_at then
-                            print_endline "drain: timed out"
-                          else begin
-                            Unix.sleepf 0.01;
-                            wait ()
-                          end
-                        in
-                        wait ();
-                        Printf.printf "drained at seq %d\n" (Service.view_seq svc);
-                        flush stdout;
-                        `Continue
-                    | [ "sleep"; s ] ->
-                        (match float_of_string_opt s with
-                        | Some dt when dt >= 0. -> Unix.sleepf dt
-                        | _ -> print_endline "sleep: not a duration");
-                        flush stdout;
-                        `Continue
-                    | cmd :: _ ->
-                        Printf.printf "error: unknown command '%s'\n" cmd;
-                        flush stdout;
-                        `Continue
-                    | [] -> `Continue
+                (* the stdin/script path and the TCP path evaluate lines
+                   through the same Proto grammar, so replies are
+                   byte-identical on either transport *)
+                let env =
+                  { Rs_net.Proto.service = svc;
+                    on_delta = (fun d -> Service.offer svc d);
+                    stopped = (fun () -> Atomic.get stop_flag);
+                    status_suffix = (fun () -> "") }
+                in
+                let ld =
+                  match bound with
+                  | None -> None
+                  | Some (h, p, srv) -> (
+                      match
+                        Rs_net.Repl.lead ~proto_env:env ~server:srv ~service:svc
+                          ~store_dir:wal ~host:h ~port:p ()
+                      with
+                      | Ok ld ->
+                          Logs.app (fun m ->
+                              m "serve: tcp on %s:%d (epoch %d, %s)" h
+                                (Rs_net.Repl.leader_port ld)
+                                (Rs_net.Repl.leader_epoch ld)
+                                (if wal = None then "queries only"
+                                 else "replication on"));
+                          Some ld
+                      | Error e ->
+                          Logs.err (fun m -> m "serve: tcp failed: %s" e);
+                          None)
                 in
                 let exec line =
-                  match exec line with
-                  | r -> r
-                  | exception Failure m ->
-                      Printf.printf "error: %s\n" m;
+                  match Rs_net.Proto.exec env line with
+                  | Rs_net.Proto.Silent -> `Continue
+                  | Rs_net.Proto.Quit -> `Quit
+                  | Rs_net.Proto.Reply r ->
+                      print_endline r;
                       flush stdout;
                       `Continue
                 in
@@ -1634,6 +1598,7 @@ let serve_cmd =
                             end
                     in
                     loop ());
+                Option.iter Rs_net.Repl.stop_leader ld;
                 let st = Service.stop svc in
                 Sys.set_signal Sys.sigterm old_term;
                 Sys.set_signal Sys.sigint old_int;
@@ -1659,14 +1624,14 @@ let serve_cmd =
                   catch_store @@ fun () ->
                   let store, r = Store.recover ~policy:fsync ~verify:true ~dir () in
                   Logs.app (fun m -> m "%a" Store.pp_recovery r);
-                  serve (Service.Durable store)))
+                  serve (Service.Durable store)))))
   in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ algo_arg $ eps_arg $ k_arg $ readers_arg
        $ queue_arg $ deadline_arg $ budget_arg $ trips_arg $ watchdog_arg
-       $ health_arg $ ephemeral_arg $ script_arg $ wal_arg $ fsync_arg
+       $ health_arg $ ephemeral_arg $ script_arg $ tcp_arg $ wal_arg $ fsync_arg
        $ graph_opt))
   in
   Cmd.v
@@ -1678,7 +1643,318 @@ let serve_cmd =
           rejected with a reason, slow repairs trip a circuit breaker into \
           batched rebuilds (readers serve stale-flagged answers meanwhile), a \
           watchdog handles a wedged writer, SIGTERM drains and snapshots, and \
-          --wal makes the whole lifecycle crash-safe.")
+          --wal makes the whole lifecycle crash-safe. --tcp exposes the same \
+          line protocol over length-prefixed CRC-framed TCP and (with --wal) \
+          leads replicas: it ships its newest checksummed snapshot to joiners \
+          and streams WAL records, epoch-fenced against deposed leaders.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* replica *)
+
+let replica_cmd =
+  let module Service = Rs_serve.Service in
+  let module Repl = Rs_net.Repl in
+  let module Proto = Rs_net.Proto in
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"HOST:PORT"
+          ~doc:"The leader to follow (required).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve read-only queries over TCP at $(docv); delta lines are \
+             refused with a pointer to the leader.")
+  in
+  let readers_arg =
+    Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N" ~doc:"Reader domains answering queries.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Consecutive failed reconnects (capped exponential backoff with \
+             jitter between them) before the follower gives up — the \
+             --promote-on-disconnect trigger.")
+  in
+  let promote_arg =
+    Arg.(
+      value & flag
+      & info [ "promote-on-disconnect" ]
+          ~doc:
+            "When the follower exhausts its retries, promote: finish applying \
+             everything already accepted, bump and persist the epoch, and \
+             keep serving as the freshest surviving state. The deposed \
+             leader's stream is refused from then on.")
+  in
+  let health_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health-file" ] ~docv:"FILE"
+          ~doc:
+            "Continuously publish a one-line liveness probe with the replica \
+             suffix (leader_seq, lag, connected, epoch) to $(docv), written \
+             by temp-file-plus-rename.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Read query commands from $(docv), then stop. Without it the \
+                replica is resident: it follows until SIGTERM (stdin commands \
+                are answered; EOF on stdin keeps it serving).")
+  in
+  let run () follow tcp readers retries promote health_file script wal fsync =
+    (* misuse exits in one line before any network or store I/O *)
+    match follow with
+    | None ->
+        Error (`Msg "replica: --follow HOST:PORT is required (a replica needs a leader)")
+    | Some follow -> (
+        if wal = None then
+          Error (`Msg "replica: --follow needs --wal DIR (the replica's own durable store)")
+        else if readers < 1 then Error (`Msg "replica: --readers must be >= 1")
+        else if retries < 1 then Error (`Msg "replica: --max-retries must be >= 1")
+        else
+          match Rs_net.Tcp.parse_hostport follow with
+          | Error e -> Error (`Msg ("replica: --follow " ^ e))
+          | Ok (lhost, lport) -> (
+              match
+                match tcp with
+                | None -> Ok None
+                | Some hp -> (
+                    match Rs_net.Tcp.parse_hostport hp with
+                    | Ok (h, p) -> Ok (Some (h, p))
+                    | Error e -> Error (`Msg ("replica: --tcp " ^ e)))
+              with
+              | Error e -> Error e
+              | Ok tcp_addr -> (
+                  match resolve_fsync ~wal fsync with
+                  | Error e -> Error e
+                  | Ok fsync -> (
+                      let dir = Option.get wal in
+                      (* bind before following: a taken port must be a
+                         one-line exit before any snapshot is shipped *)
+                      match
+                        match tcp_addr with
+                        | None -> Ok None
+                        | Some (h, p) -> (
+                            match Rs_net.Tcp.listen ~host:h ~port:p with
+                            | Ok srv -> Ok (Some (h, p, srv))
+                            | Error e -> Error (`Msg ("replica: " ^ e)))
+                      with
+                      | Error e -> Error e
+                      | Ok bound -> (
+                          catch_store @@ fun () ->
+                          let cfg =
+                            { (Repl.default_replica_config ()) with
+                              Repl.max_retries = retries; fsync }
+                          in
+                          let service_config = { Service.default_config with readers } in
+                          match
+                            Repl.follow ~config:cfg ?health_file ~service_config
+                              ~dir ~host:lhost ~port:lport ()
+                          with
+                          | Error e -> Error (`Msg ("replica: " ^ e))
+                          | Ok r ->
+                              let svc = Repl.replica_service r in
+                              let stop_flag = Atomic.make false in
+                              let handler =
+                                Sys.Signal_handle (fun _ -> Atomic.set stop_flag true)
+                              in
+                              let old_term = Sys.signal Sys.sigterm handler in
+                              let old_int = Sys.signal Sys.sigint handler in
+                              Logs.app (fun m ->
+                                  m "replica: following %s:%d into %s (seq %d, epoch %d)"
+                                    lhost lport dir (Service.view_seq svc)
+                                    (Repl.replica_epoch r));
+                              let env =
+                                { Proto.service = svc;
+                                  on_delta =
+                                    (fun _ ->
+                                      Error
+                                        (Printf.sprintf
+                                           "replica is read-only: offer deltas to the \
+                                            leader at %s:%d"
+                                           lhost lport));
+                                  stopped = (fun () -> Atomic.get stop_flag);
+                                  status_suffix = (fun () -> Repl.status_suffix r) }
+                              in
+                              let ld =
+                                match bound with
+                                | None -> None
+                                | Some (h, p, srv) -> (
+                                    match
+                                      Repl.lead ~proto_env:env ~server:srv ~service:svc
+                                        ~store_dir:None ~host:h ~port:p ()
+                                    with
+                                    | Ok ld ->
+                                        Logs.app (fun m ->
+                                            m "replica: tcp queries on %s:%d" h
+                                              (Repl.leader_port ld));
+                                        Some ld
+                                    | Error e ->
+                                        Logs.err (fun m -> m "replica: tcp failed: %s" e);
+                                        None)
+                              in
+                              let promoted = ref false in
+                              let tick () =
+                                if promote && (not !promoted) && Repl.gave_up r then begin
+                                  let e = Repl.promote r in
+                                  promoted := true;
+                                  Logs.app (fun m ->
+                                      m
+                                        "replica: leader lost after %d retries; promoted \
+                                         to epoch %d at seq %d"
+                                        retries e (Service.view_seq svc))
+                                end
+                              in
+                              let exec line =
+                                match Proto.exec env line with
+                                | Proto.Silent -> `Continue
+                                | Proto.Quit -> `Quit
+                                | Proto.Reply rep ->
+                                    print_endline rep;
+                                    flush stdout;
+                                    `Continue
+                              in
+                              (match script with
+                              | Some file ->
+                                  let lines =
+                                    In_channel.with_open_text file In_channel.input_lines
+                                  in
+                                  let rec go = function
+                                    | [] -> ()
+                                    | l :: rest ->
+                                        tick ();
+                                        if Atomic.get stop_flag then ()
+                                        else if exec l = `Quit then ()
+                                        else go rest
+                                  in
+                                  go lines
+                              | None ->
+                                  (* resident: poll stdin for commands but keep
+                                     following after EOF — only a signal (or an
+                                     explicit quit) ends a replica *)
+                                  let buf = Buffer.create 256 in
+                                  let chunk = Bytes.create 4096 in
+                                  let quit = ref false in
+                                  let stdin_open = ref true in
+                                  let feed k =
+                                    Buffer.add_subbytes buf chunk 0 k;
+                                    let rec lines () =
+                                      let s = Buffer.contents buf in
+                                      match String.index_opt s '\n' with
+                                      | None -> ()
+                                      | Some i ->
+                                          Buffer.clear buf;
+                                          Buffer.add_string buf
+                                            (String.sub s (i + 1) (String.length s - i - 1));
+                                          if exec (String.sub s 0 i) = `Quit then
+                                            quit := true
+                                          else lines ()
+                                    in
+                                    lines ()
+                                  in
+                                  let rec loop () =
+                                    tick ();
+                                    if not (!quit || Atomic.get stop_flag) then
+                                      if not !stdin_open then begin
+                                        Unix.sleepf 0.1;
+                                        loop ()
+                                      end
+                                      else
+                                        match Unix.select [ Unix.stdin ] [] [] 0.1 with
+                                        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                                            loop ()
+                                        | [], _, _ -> loop ()
+                                        | _ ->
+                                            let k =
+                                              Unix.read Unix.stdin chunk 0
+                                                (Bytes.length chunk)
+                                            in
+                                            if k > 0 then feed k else stdin_open := false;
+                                            loop ()
+                                  in
+                                  loop ());
+                              Option.iter Repl.stop_leader ld;
+                              let st = Repl.stop_replica r in
+                              Sys.set_signal Sys.sigterm old_term;
+                              Sys.set_signal Sys.sigint old_int;
+                              Logs.app (fun m ->
+                                  m
+                                    "replica: stopped at seq %d (applied %d, stale reads \
+                                     %d, epoch %d)"
+                                    st.Service.s_seq st.Service.s_accepted
+                                    st.Service.s_stale_reads (Repl.replica_epoch r));
+                              Ok ())))))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ follow_arg $ tcp_arg $ readers_arg $ retries_arg
+       $ promote_arg $ health_arg $ script_arg $ wal_arg $ fsync_arg))
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Follow a leader started with $(b,rspan serve --tcp --wal): bootstrap \
+          by shipping its newest checksummed snapshot (resumable, verified \
+          before install), then apply its streamed WAL records through the \
+          same incremental repair, serving stale-bounded reads with an \
+          advertised lag. Disconnects reconnect with capped exponential \
+          backoff and resume from the replica's own durable sequence number \
+          (no gaps, no double-apply); --promote-on-disconnect turns a lost \
+          leader into an epoch bump that fences the deposed one out.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* ship *)
+
+let ship_cmd =
+  let module Repl = Rs_net.Repl in
+  let hp_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc:"Leader address.")
+  in
+  let dir_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Destination directory.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-frame transfer deadline.")
+  in
+  let run () hp dir timeout =
+    match (hp, dir) with
+    | None, _ -> Error (`Msg "ship: HOST:PORT of a leader is required")
+    | _, None -> Error (`Msg "ship: a destination DIR is required")
+    | Some hp, Some dir -> (
+        match Rs_net.Tcp.parse_hostport hp with
+        | Error e -> Error (`Msg ("ship: " ^ e))
+        | Ok (host, port) -> (
+            catch_store @@ fun () ->
+            match Repl.ship ~timeout_s:timeout ~host ~port ~dir () with
+            | Error e -> Error (`Msg ("ship: " ^ e))
+            | Ok (seq, path) ->
+                Printf.printf "shipped: snapshot seq %d -> %s\n" seq path;
+                Ok ()))
+  in
+  let term = Term.(term_result (const run $ obs_term $ hp_arg $ dir_arg $ timeout_arg)) in
+  Cmd.v
+    (Cmd.info "ship"
+       ~doc:
+         "Fetch a leader's newest checksummed snapshot over TCP into DIR. An \
+          interrupted transfer leaves a .part file that the next attempt \
+          resumes at its byte offset; the whole file is verified against the \
+          leader's CRC before the atomic rename, so a torn or corrupted ship \
+          can never be mistaken for a snapshot.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1686,6 +1962,7 @@ let serve_cmd =
 
 let chaostest_cmd =
   let module Chaos = Rs_serve.Chaos in
+  let module Net_chaos = Rs_net.Net_chaos in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.") in
   let n =
     Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Vertex count of the base graph.")
@@ -1702,16 +1979,49 @@ let chaostest_cmd =
       & info [ "scenario" ] ~docv:"NAME"
           ~doc:
             (Printf.sprintf "Run a single scenario: %s."
-               (String.concat ", " Chaos.names)))
+               (String.concat ", " (Chaos.names @ Net_chaos.names))))
   in
   let run () seed n batches scenario dir =
-    catch_store @@ fun () ->
-    match Chaos.run ~seed ~n ~batches ?only:scenario ~dir () with
-    | exception Invalid_argument m -> Error (`Msg m)
-    | report ->
-        Logs.app (fun m -> m "%a" Chaos.pp_report report);
-        if Chaos.ok report then Ok ()
-        else Error (`Msg "service chaos uncovered failures")
+    let known = Chaos.names @ Net_chaos.names in
+    match scenario with
+    | Some s when not (List.mem s known) ->
+        Error
+          (`Msg
+             (Printf.sprintf "chaostest: unknown scenario %s (known: %s)" s
+                (String.concat ", " known)))
+    | _ -> (
+        let run_service =
+          match scenario with None -> true | Some s -> List.mem s Chaos.names
+        in
+        let run_net =
+          match scenario with None -> true | Some s -> List.mem s Net_chaos.names
+        in
+        catch_store @@ fun () ->
+        match
+          let svc_report =
+            if run_service then Some (Chaos.run ~seed ~n ~batches ?only:scenario ~dir ())
+            else None
+          in
+          let net_report =
+            if run_net then
+              Some (Net_chaos.run ~seed ~n ~batches ?only:scenario ~dir ())
+            else None
+          in
+          (svc_report, net_report)
+        with
+        | exception Invalid_argument m -> Error (`Msg m)
+        | svc_report, net_report ->
+            Option.iter
+              (fun rep -> Logs.app (fun m -> m "%a" Chaos.pp_report rep))
+              svc_report;
+            Option.iter
+              (fun rep -> Logs.app (fun m -> m "%a" Net_chaos.pp_report rep))
+              net_report;
+            let ok =
+              Option.fold ~none:true ~some:Chaos.ok svc_report
+              && Option.fold ~none:true ~some:Net_chaos.ok net_report
+            in
+            if ok then Ok () else Error (`Msg "chaos uncovered failures"))
   in
   let term =
     Term.(term_result (const run $ obs_term $ seed $ n $ batches $ scenario $ store_pos))
@@ -1719,10 +2029,12 @@ let chaostest_cmd =
   Cmd.v
     (Cmd.info "chaostest"
        ~doc:
-         "Service-level chaos: stand up the resident service with concurrent \
-          client load, kill the writer mid-repair, tear the WAL across a \
-          restart, saturate the bounded ingest queue, and wedge the writer under \
-          a watchdog — each scenario must end in a state equivalent to a \
+         "Chaos harness, two layers. Service: kill the writer mid-repair, tear \
+          the WAL across a restart, saturate the bounded ingest queue, wedge \
+          the writer under a watchdog. Network: partition leader and replica \
+          mid-stream, tear a snapshot ship, overflow a slow replica's bounded \
+          send buffer, restart-and-resume a replica, kill the leader and \
+          promote. Every scenario must end in a state byte-identical to a \
           from-scratch build, with readers answering (stale-flagged at worst) \
           throughout.")
     term
@@ -1736,6 +2048,42 @@ let () =
     Cmd.group info
       [ gen_cmd; build_cmd; profile_cmd; top_cmd; sim_cmd; periodic_cmd; verify_cmd;
         stats_cmd; route_cmd; dot_cmd; render_cmd; churn_cmd; heal_cmd;
-        snapshot_cmd; recover_cmd; crashtest_cmd; serve_cmd; chaostest_cmd ]
+        snapshot_cmd; recover_cmd; crashtest_cmd; serve_cmd; replica_cmd;
+        ship_cmd; chaostest_cmd ]
   in
-  exit (Cmd.eval group)
+  (* linking Rs_net ignores SIGPIPE process-wide, so a downstream
+     `| head` closing stdout surfaces as Sys_error instead of a silent
+     signal death; keep the conventional 141 exit rather than an
+     uncaught-exception banner (cmdliner's own catch would print one,
+     hence ~catch:false and a hand-rolled fallback for the rest) *)
+  let broken_pipe msg = Filename.check_suffix msg "Broken pipe" in
+  (* buffered output may only hit the dead pipe at an at_exit flush we
+     don't control, so park fd 1 on /dev/null once EPIPE is seen — every
+     later flush then succeeds and the process exits cleanly *)
+  let mute_stdout () =
+    try
+      let fd = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd
+    with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Sys_error msg when broken_pipe msg ->
+        mute_stdout ();
+        141
+    | exn ->
+        let bt = Printexc.get_backtrace () in
+        Format.eprintf "rspan: internal error, uncaught exception:@.%s@.%s@."
+          (Printexc.to_string exn) bt;
+        Cmd.Exit.internal_error
+  in
+  let code =
+    try
+      flush stdout;
+      code
+    with Sys_error msg when broken_pipe msg ->
+      mute_stdout ();
+      if code = 0 then 141 else code
+  in
+  exit code

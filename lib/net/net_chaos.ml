@@ -1,0 +1,604 @@
+open Rs_graph
+open Rs_dynamic
+module Service = Rs_serve.Service
+module Store = Rs_store.Store
+module Wal = Rs_store.Wal
+module Snapshot = Rs_store.Snapshot
+module Verify = Rs_core.Verify
+
+let names =
+  [ "partition-mid-stream"; "torn-snapshot-ship"; "slow-replica-overflow";
+    "replica-restart-resume"; "leader-kill-promote" ]
+
+type failure = { scenario : string; reason : string }
+
+type report = {
+  scenarios : int;
+  queries_ok : int;
+  stale_served : int;
+  reconnects : int;
+  disconnects : int;
+  failures : failure list;
+}
+
+let ok r = r.scenarios > 0 && r.failures = []
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>net chaos scenarios: %d (%d queries answered, %d stale-flagged, %d \
+     reconnects, %d reasoned disconnects)"
+    r.scenarios r.queries_ok r.stale_served r.reconnects r.disconnects;
+  List.iter
+    (fun f -> Format.fprintf fmt "@,FAIL %s: %s" f.scenario f.reason)
+    r.failures;
+  Format.fprintf fmt "@]"
+
+(* {1 Filesystem scratchpads} — the flat-directory helpers every
+   harness in this repo uses; store directories hold no subdirectories *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let copy_dir src dst =
+  rm_rf dst;
+  mkdir_p dst;
+  Array.iter
+    (fun name ->
+      let data = In_channel.with_open_bin (Filename.concat src name) In_channel.input_all in
+      Out_channel.with_open_bin (Filename.concat dst name) (fun oc ->
+          Out_channel.output_string oc data))
+    (Sys.readdir src)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* {1 Random churn} — the same op mix the in-process chaos harness
+   drives, so network scenarios exercise the same delta space *)
+
+let random_op rand g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let pick () = Rand.int rand n in
+  match Rand.int rand 100 with
+  | r when r < 45 || m = 0 ->
+      let rec go tries =
+        let u = pick () and v = pick () in
+        if u = v then go tries
+        else if Graph.mem_edge g u v && tries > 0 then go (tries - 1)
+        else Delta.Add_edge (u, v)
+      in
+      go 8
+  | r when r < 80 ->
+      let u, v = Graph.edge g (Rand.int rand m) in
+      Delta.Remove_edge (u, v)
+  | r when r < 90 -> Delta.Node_down (pick ())
+  | _ ->
+      let u = pick () in
+      let links =
+        List.init
+          (1 + Rand.int rand 3)
+          (fun _ ->
+            let rec go () =
+              let v = pick () in
+              if v = u then go () else v
+            in
+            go ())
+        |> List.sort_uniq compare
+      in
+      Delta.Node_up (u, links)
+
+let random_delta rand g =
+  let rec go tries =
+    let ops = List.init (1 + Rand.int rand 3) (fun _ -> random_op rand g) in
+    match Delta.effect g ops with
+    | [], [] when tries > 0 -> go (tries - 1)
+    | _ -> ops
+  in
+  go 16
+
+(* {1 Gates} *)
+
+let wait_until ?(timeout = 20.0) ~what pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      failwith ("timed out waiting for " ^ what)
+    else begin
+      Unix.sleepf 0.002;
+      go ()
+    end
+  in
+  go ()
+
+(* The recovery gate, applied to the replica's live view: its spanners
+   must equal a from-scratch build on its graph and honor the paper
+   guarantee — streamed deltas through [Repair.apply] land exactly
+   where the leader landed. *)
+let verify_state ~what g spanners =
+  List.iter
+    (fun (spec, sp) ->
+      if Edge_set.to_list sp <> Edge_set.to_list (Repair.build spec g) then
+        failwith
+          (Format.asprintf "%s: %a spanner diverges from a from-scratch build"
+             what Repair.pp_spec spec);
+      match Repair.alpha_beta spec with
+      | Some (alpha, beta) ->
+          if not (Verify.is_remote_spanner g sp ~alpha ~beta) then
+            failwith
+              (Format.asprintf "%s: %a spanner violates its (%.1f, %.1f) guarantee"
+                 what Repair.pp_spec spec alpha beta)
+      | None -> ())
+    spanners
+
+(* Both directories must recover to the same state; the snapshot
+   encoding is deterministic, so equal states have equal bytes. *)
+let gate_byte_identical ~what dir_a dir_b =
+  let recover_value suffix src =
+    let copy = src ^ suffix in
+    copy_dir src copy;
+    let st, info = Store.recover ~policy:Wal.Always ~verify:false ~dir:copy () in
+    let v = Snapshot.to_string (Store.snapshot_value st) in
+    Store.close st;
+    (info.Store.last_seq, v)
+  in
+  let sa, va = recover_value "-cmp-a" dir_a in
+  let sb, vb = recover_value "-cmp-b" dir_b in
+  if sa <> sb then
+    failwith
+      (Printf.sprintf "%s: stores recover to different seqs (%d vs %d)" what sa sb);
+  if not (String.equal va vb) then
+    failwith (Printf.sprintf "%s: stores at seq %d are not byte-identical" what sa)
+
+(* {1 Concurrent client load} — reader traffic against the replica's
+   service during every disruption; a [Bad_request] is a harness
+   failure, timeouts and overload rejections are not *)
+
+type clients = {
+  cl_served : int Atomic.t;
+  cl_stale : int Atomic.t;
+  cl_soft : int Atomic.t;
+  cl_bad_m : Mutex.t;
+  mutable cl_bad : string list;
+  cl_stop : bool Atomic.t;
+  mutable cl_domains : unit Domain.t array;
+}
+
+let spawn_clients svc ~seed ~n ~count =
+  let cl =
+    { cl_served = Atomic.make 0; cl_stale = Atomic.make 0; cl_soft = Atomic.make 0;
+      cl_bad_m = Mutex.create (); cl_bad = []; cl_stop = Atomic.make false;
+      cl_domains = [||] }
+  in
+  cl.cl_domains <-
+    Array.init count (fun i ->
+        Domain.spawn (fun () ->
+            let rand = Rand.create (seed + (7919 * (i + 1))) in
+            while not (Atomic.get cl.cl_stop) do
+              let q =
+                match Rand.int rand 4 with
+                | 0 -> Service.Stats
+                | 1 -> Service.Status
+                | 2 -> Service.Route { src = Rand.int rand n; dst = Rand.int rand n }
+                | _ -> Service.Advert (Rand.int rand n)
+              in
+              let r = Service.query ~deadline_s:2.0 svc q in
+              (match r.Service.answer with
+              | Ok _ ->
+                  Atomic.incr cl.cl_served;
+                  if r.Service.stale then Atomic.incr cl.cl_stale
+              | Error (Service.Timeout | Service.Overloaded _) ->
+                  Atomic.incr cl.cl_soft
+              | Error (Service.Bad_request m) ->
+                  Mutex.lock cl.cl_bad_m;
+                  cl.cl_bad <- m :: cl.cl_bad;
+                  Mutex.unlock cl.cl_bad_m);
+              Unix.sleepf 0.001
+            done));
+  cl
+
+let join_clients cl =
+  Atomic.set cl.cl_stop true;
+  Array.iter Domain.join cl.cl_domains;
+  match cl.cl_bad with
+  | [] -> ()
+  | m :: _ ->
+      failwith
+        (Printf.sprintf "clients saw %d Bad_request responses (e.g. %s)"
+           (List.length cl.cl_bad) m)
+
+type outcome = {
+  o_queries : int;
+  o_stale : int;
+  o_reconnects : int;
+  o_disconnects : int;
+}
+
+(* {1 Shared scaffolding} *)
+
+let host = "127.0.0.1"
+
+let start_leader ?lcfg ~specs ~g0 ~base () =
+  rm_rf base;
+  let lcfg =
+    match lcfg with Some c -> c | None -> Repl.default_leader_config ()
+  in
+  let store = Store.create ~policy:Wal.Always ~segment_bytes:512 ~dir:base ~specs g0 in
+  let svc =
+    Service.start
+      { Service.default_config with readers = 2; batch_max = 1; watchdog_s = 0. }
+      (Service.Durable store)
+  in
+  match Repl.lead ~config:lcfg ~service:svc ~store_dir:(Some base) ~host ~port:0 () with
+  | Error m -> failwith ("leader failed to start: " ^ m)
+  | Ok ld -> (store, svc, ld)
+
+let rcfg ~seed ?(max_retries = 1000) () =
+  { (Repl.default_replica_config ()) with
+    Repl.r_frame_timeout_s = 2.0;
+    reconnect_base_s = 0.02;
+    reconnect_max_s = 0.2;
+    max_retries;
+    seed;
+    fsync = Wal.Always }
+
+let start_replica ~cfg ~dir ~port () =
+  match
+    Repl.follow ~config:cfg
+      ~service_config:{ Service.default_config with readers = 2; watchdog_s = 0. }
+      ~dir ~host ~port ()
+  with
+  | Error m -> failwith ("replica failed to attach: " ^ m)
+  | Ok r -> r
+
+let feed svc rand expected ~from_ ~upto =
+  for i = from_ to upto do
+    let d = random_delta rand expected.(i - 1) in
+    expected.(i) <- Delta.apply expected.(i - 1) d;
+    (match Service.offer svc d with
+    | Ok () -> ()
+    | Error e -> failwith ("leader offer rejected: " ^ e));
+    wait_until ~what:"leader ingest" (fun () -> Service.ingested_seq svc >= i)
+  done
+
+let wait_caught_up ?(timeout = 30.0) ~what r target =
+  wait_until ~timeout ~what (fun () ->
+      let svc = Repl.replica_service r in
+      Service.ingested_seq svc >= target && Service.idle svc)
+
+(* exact equality is the no-gap/no-double-apply gate: a skipped record
+   leaves the replica short, a re-applied one pushes it past *)
+let gate_seq ~what r target =
+  let got = Service.ingested_seq (Repl.replica_service r) in
+  if got <> target then
+    failwith
+      (Printf.sprintf "%s: replica at seq %d, leader at %d (gap or double-apply)"
+         what got target)
+
+let gate_replica ~what r expected_g =
+  let svc = Repl.replica_service r in
+  wait_until ~what:(what ^ ": replica publication") (fun () ->
+      Service.view_seq svc = Service.ingested_seq svc);
+  let g, spanners = Service.peek svc in
+  if not (Graph.equal g expected_g) then
+    failwith (what ^ ": replica topology diverges from the reference");
+  verify_state ~what g spanners
+
+(* {1 Scenarios} *)
+
+(* The leader↔replica link is severed mid-stream while the leader keeps
+   ingesting. The replica serves what it has, then reconnects when the
+   partition heals and resumes from its own sequence number. *)
+let partition_mid_stream ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "partition-mid-stream" in
+  let rdir = base ^ "-replica" in
+  rm_rf rdir;
+  let _store, svc, ld = start_leader ~specs ~g0 ~base () in
+  let port = Repl.leader_port ld in
+  let expected = Array.make (batches + 1) g0 in
+  let half = batches / 2 in
+  feed svc rand expected ~from_:1 ~upto:half;
+  let r = start_replica ~cfg:(rcfg ~seed:(3 * n) ()) ~dir:rdir ~port () in
+  wait_caught_up ~what:"replica catch-up before the partition" r half;
+  gate_seq ~what:"partition-mid-stream (pre)" r half;
+  let cl = spawn_clients (Repl.replica_service r) ~seed:(11 * n) ~n ~count:2 in
+  Repl.leader_set_refuse ld true;
+  ignore (Repl.leader_drop_connections ld);
+  feed svc rand expected ~from_:(half + 1) ~upto:batches;
+  wait_until ~what:"the replica noticing the partition" (fun () ->
+      not (Repl.connected r));
+  (match
+     (Service.query ~deadline_s:2.0 (Repl.replica_service r) Service.Stats)
+       .Service.answer
+   with
+  | Ok _ -> ()
+  | Error _ -> failwith "partitioned replica stopped answering reads");
+  Repl.leader_set_refuse ld false;
+  wait_until ~what:"reconnection after the partition healed" (fun () ->
+      Repl.connected r);
+  wait_caught_up ~what:"resume catch-up" r batches;
+  gate_seq ~what:"partition-mid-stream" r batches;
+  if Repl.reconnects r < 1 then failwith "no reconnect was recorded";
+  join_clients cl;
+  gate_replica ~what:"partition-mid-stream" r expected.(batches);
+  (* the healed leader still answers the line protocol over TCP *)
+  let tcp_ok = ref 0 in
+  (match Repl.connect_query ~host ~port ~timeout_s:2.0 with
+  | Error m -> failwith ("query connect: " ^ m)
+  | Ok fd ->
+      List.iter
+        (fun line ->
+          match Repl.request fd ~timeout_s:2.0 line with
+          | Ok _ -> incr tcp_ok
+          | Error m -> failwith ("query '" ^ line ^ "': " ^ m))
+        [ "status"; "stats" ];
+      ignore (Repl.request fd ~timeout_s:2.0 "quit");
+      (try Unix.close fd with Unix.Unix_error _ -> ()));
+  let reconnects = Repl.reconnects r in
+  ignore (Repl.stop_replica r);
+  Repl.stop_leader ld;
+  ignore (Service.stop svc);
+  gate_byte_identical ~what:"partition-mid-stream" base rdir;
+  { o_queries = Atomic.get cl.cl_served + !tcp_ok;
+    o_stale = Atomic.get cl.cl_stale;
+    o_reconnects = reconnects;
+    o_disconnects = 0 }
+
+(* A snapshot ship is cut mid-chunk, the partial is corrupted on disk,
+   and the ship retried: the resume must continue at the partial's
+   offset, the CRC must reject the corruption, and a clean retry must
+   bootstrap a replica that catches up. *)
+let torn_snapshot_ship ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "torn-snapshot-ship" in
+  let rdir = base ^ "-replica" in
+  rm_rf rdir;
+  let lcfg = { (Repl.default_leader_config ()) with Repl.ship_chunk = 64 } in
+  Atomic.set lcfg.Repl.sender_delay_s 0.02;
+  let store, svc, ld = start_leader ~lcfg ~specs ~g0 ~base () in
+  let port = Repl.leader_port ld in
+  let expected = Array.make (batches + 3) g0 in
+  feed svc rand expected ~from_:1 ~upto:batches;
+  wait_until ~what:"leader quiescence before the snapshot" (fun () ->
+      Service.idle svc);
+  let snap_path = Store.write_snapshot store in
+  let total = (Unix.stat snap_path).Unix.st_size in
+  let part = Filename.concat rdir (Filename.basename snap_path ^ ".part") in
+  (* cut the wire mid-ship; the partial must survive at a real offset *)
+  let shipper =
+    Domain.spawn (fun () -> Repl.ship ~timeout_s:2.0 ~host ~port ~dir:rdir ())
+  in
+  wait_until ~what:"ship progress before the cut" (fun () ->
+      Sys.file_exists part && (Unix.stat part).Unix.st_size > 0);
+  ignore (Repl.leader_drop_connections ld);
+  (match Domain.join shipper with
+  | Ok _ -> failwith "the severed ship reported success"
+  | Error _ -> ());
+  if not (Sys.file_exists part) then failwith "the interrupted ship left no partial";
+  let torn = (Unix.stat part).Unix.st_size in
+  if torn <= 0 || torn >= total then
+    failwith (Printf.sprintf "torn partial holds %d of %d bytes" torn total);
+  (* corrupt one byte; the resumed ship must reject the whole file *)
+  let flipped = Bytes.of_string (read_file part) in
+  let i = torn / 2 in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0xff));
+  write_file part (Bytes.to_string flipped);
+  Atomic.set lcfg.Repl.sender_delay_s 0.;
+  (match Repl.ship ~timeout_s:5.0 ~host ~port ~dir:rdir () with
+  | Ok _ -> failwith "a corrupted partial shipped without a checksum failure"
+  | Error m ->
+      if not (contains m "checksum") then
+        failwith ("unexpected resume error: " ^ m));
+  if Sys.file_exists part then failwith "the corrupt partial was not discarded";
+  (* a clean retry installs, and the replica it bootstraps catches up *)
+  (match Repl.ship ~timeout_s:5.0 ~host ~port ~dir:rdir () with
+  | Error m -> failwith ("clean ship failed: " ^ m)
+  | Ok (seq, _) ->
+      if seq <> batches then
+        failwith (Printf.sprintf "shipped snapshot at seq %d, expected %d" seq batches));
+  let r = start_replica ~cfg:(rcfg ~seed:(5 * n) ()) ~dir:rdir ~port () in
+  feed svc rand expected ~from_:(batches + 1) ~upto:(batches + 2);
+  wait_caught_up ~what:"post-bootstrap catch-up" r (batches + 2);
+  gate_seq ~what:"torn-snapshot-ship" r (batches + 2);
+  gate_replica ~what:"torn-snapshot-ship" r expected.(batches + 2);
+  let reconnects = Repl.reconnects r in
+  ignore (Repl.stop_replica r);
+  Repl.stop_leader ld;
+  ignore (Service.stop svc);
+  gate_byte_identical ~what:"torn-snapshot-ship" base rdir;
+  { o_queries = 0; o_stale = 0; o_reconnects = reconnects; o_disconnects = 0 }
+
+(* The per-follower send buffer is shrunk and the stream throttled
+   until the buffer overflows: the leader must hang up with an
+   explicit reason, and the un-throttled replica must reconnect and
+   converge. *)
+let slow_replica_overflow ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "slow-replica-overflow" in
+  let rdir = base ^ "-replica" in
+  rm_rf rdir;
+  let lcfg = { (Repl.default_leader_config ()) with Repl.send_capacity = 4 } in
+  let _store, svc, ld = start_leader ~lcfg ~specs ~g0 ~base () in
+  let port = Repl.leader_port ld in
+  let r = start_replica ~cfg:(rcfg ~seed:(7 * n) ()) ~dir:rdir ~port () in
+  wait_until ~what:"replica attach" (fun () -> Repl.connected r);
+  let cl = spawn_clients (Repl.replica_service r) ~seed:(13 * n) ~n ~count:2 in
+  (* throttle: one frame per 0.2 s against 0.05 s of patience means the
+     first push into a full buffer declares overflow *)
+  Atomic.set lcfg.Repl.sender_delay_s 0.2;
+  Atomic.set lcfg.Repl.overflow_patience_s 0.05;
+  let total = max batches 24 in
+  let expected = Array.make (total + 1) g0 in
+  feed svc rand expected ~from_:1 ~upto:total;
+  wait_until ~timeout:30.0 ~what:"the overflow disconnect" (fun () ->
+      match Repl.last_error r with
+      | Some m -> contains m "overflow"
+      | None -> false);
+  Atomic.set lcfg.Repl.sender_delay_s 0.;
+  Atomic.set lcfg.Repl.overflow_patience_s 5.0;
+  wait_caught_up ~timeout:40.0 ~what:"catch-up after the overflow" r total;
+  gate_seq ~what:"slow-replica-overflow" r total;
+  if Repl.reconnects r < 1 then failwith "the overflowed replica never reconnected";
+  join_clients cl;
+  gate_replica ~what:"slow-replica-overflow" r expected.(total);
+  let reconnects = Repl.reconnects r in
+  ignore (Repl.stop_replica r);
+  Repl.stop_leader ld;
+  ignore (Service.stop svc);
+  gate_byte_identical ~what:"slow-replica-overflow" base rdir;
+  { o_queries = Atomic.get cl.cl_served;
+    o_stale = Atomic.get cl.cl_stale;
+    o_reconnects = reconnects;
+    o_disconnects = 1 }
+
+(* The replica is crash-killed mid-apply (no final snapshot), the
+   leader keeps ingesting, and a restart from the same directory must
+   recover its own WAL and resume the stream from the recovered
+   sequence number. *)
+let replica_restart_resume ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "replica-restart-resume" in
+  let rdir = base ^ "-replica" in
+  rm_rf rdir;
+  let _store, svc, ld = start_leader ~specs ~g0 ~base () in
+  let port = Repl.leader_port ld in
+  let expected = Array.make (batches + 1) g0 in
+  let half = batches / 2 in
+  feed svc rand expected ~from_:1 ~upto:half;
+  let cfg = rcfg ~seed:(9 * n) () in
+  Atomic.set cfg.Repl.apply_delay_s 0.01;
+  let r = start_replica ~cfg ~dir:rdir ~port () in
+  wait_until ~what:"some replica progress before the crash" (fun () ->
+      Service.ingested_seq (Repl.replica_service r) >= 1);
+  Repl.kill_replica r;
+  let crashed_at = Service.ingested_seq (Repl.replica_service r) in
+  if crashed_at > half then
+    failwith (Printf.sprintf "crashed at seq %d past the leader's %d" crashed_at half);
+  feed svc rand expected ~from_:(half + 1) ~upto:batches;
+  let r2 = start_replica ~cfg:(rcfg ~seed:(10 * n) ()) ~dir:rdir ~port () in
+  wait_caught_up ~what:"catch-up after the restart" r2 batches;
+  gate_seq ~what:"replica-restart-resume" r2 batches;
+  gate_replica ~what:"replica-restart-resume" r2 expected.(batches);
+  let reconnects = Repl.reconnects r2 in
+  ignore (Repl.stop_replica r2);
+  Repl.stop_leader ld;
+  ignore (Service.stop svc);
+  gate_byte_identical ~what:"replica-restart-resume" base rdir;
+  { o_queries = 0; o_stale = 0; o_reconnects = reconnects; o_disconnects = 0 }
+
+(* The leader dies; the caught-up replica is promoted — epoch bumped
+   and persisted — and the deposed leader, restarted with its stale
+   epoch, must be refused when the promoted store tries to follow it. *)
+let leader_kill_promote ~rand ~specs ~n ~batches ~dir =
+  let g0 = Gen.random_connected rand n (4.0 /. float_of_int n) in
+  let base = Filename.concat dir "leader-kill-promote" in
+  let rdir = base ^ "-replica" in
+  rm_rf rdir;
+  let _store, svc, ld = start_leader ~specs ~g0 ~base () in
+  let port = Repl.leader_port ld in
+  let expected = Array.make (batches + 1) g0 in
+  feed svc rand expected ~from_:1 ~upto:batches;
+  let r = start_replica ~cfg:(rcfg ~seed:(12 * n) ()) ~dir:rdir ~port () in
+  wait_caught_up ~what:"replica catch-up before the leader dies" r batches;
+  if Repl.lag r <> 0 then failwith "a caught-up replica reports non-zero lag";
+  Service.kill svc;
+  Repl.stop_leader ld;
+  let epoch = Repl.promote r in
+  if epoch <> 2 then failwith (Printf.sprintf "promoted to epoch %d, expected 2" epoch);
+  if Repl.read_epoch ~dir:rdir <> 2 then failwith "the promoted epoch was not persisted";
+  gate_seq ~what:"leader-kill-promote" r batches;
+  gate_replica ~what:"leader-kill-promote" r expected.(batches);
+  (* the deposed leader restarts from its own directory, still epoch 1 *)
+  let deposed = base ^ "-deposed" in
+  copy_dir base deposed;
+  let dstore, dinfo = Store.recover ~policy:Wal.Always ~verify:false ~dir:deposed () in
+  if dinfo.Store.last_seq <> batches then
+    failwith
+      (Printf.sprintf "deposed leader recovered to seq %d, expected %d"
+         dinfo.Store.last_seq batches);
+  let dsvc =
+    Service.start
+      { Service.default_config with readers = 1; batch_max = 1; watchdog_s = 0. }
+      (Service.Durable dstore)
+  in
+  let dld =
+    match Repl.lead ~service:dsvc ~store_dir:(Some deposed) ~host ~port:0 () with
+    | Error m -> failwith ("deposed leader failed to restart: " ^ m)
+    | Ok l -> l
+  in
+  if Repl.leader_epoch dld <> 1 then
+    failwith "the deposed leader should still be at epoch 1";
+  (* release the promoted store, then probe the fence with it *)
+  ignore (Service.stop (Repl.replica_service r));
+  (match
+     Repl.follow
+       ~config:(rcfg ~seed:(13 * n) ~max_retries:2 ())
+       ~service_config:{ Service.default_config with readers = 1; watchdog_s = 0. }
+       ~dir:rdir ~host ~port:(Repl.leader_port dld) ()
+   with
+  | Error m -> failwith ("fence probe failed to start: " ^ m)
+  | Ok probe ->
+      wait_until ~what:"the fence probe giving up" (fun () -> Repl.gave_up probe);
+      (match Repl.last_error probe with
+      | Some m when contains m "stale leader epoch" -> ()
+      | Some m -> failwith ("fence rejected for the wrong reason: " ^ m)
+      | None -> failwith "the fence probe recorded no error");
+      ignore (Repl.stop_replica probe));
+  Repl.stop_leader dld;
+  ignore (Service.stop dsvc);
+  gate_byte_identical ~what:"leader-kill-promote" deposed rdir;
+  { o_queries = 0; o_stale = 0; o_reconnects = Repl.reconnects r; o_disconnects = 1 }
+
+(* {1 The plan} *)
+
+let run ?(specs = [ Repair.Gdy_k { k = 1 } ]) ?only ~seed ~n ~batches ~dir () =
+  if batches < 4 then invalid_arg "Net_chaos.run: need at least 4 batches";
+  (match only with
+  | Some s when not (List.mem s names) ->
+      invalid_arg
+        (Printf.sprintf "Net_chaos.run: unknown scenario %s (known: %s)" s
+           (String.concat ", " names))
+  | _ -> ());
+  mkdir_p dir;
+  let rand = Rand.create seed in
+  let scenarios = ref 0 in
+  let queries = ref 0 and stale = ref 0 and reconn = ref 0 and disc = ref 0 in
+  let failures = ref [] in
+  let scenario name f =
+    if only = None || only = Some name then begin
+      incr scenarios;
+      match f ~rand ~specs ~n ~batches ~dir with
+      | o ->
+          queries := !queries + o.o_queries;
+          stale := !stale + o.o_stale;
+          reconn := !reconn + o.o_reconnects;
+          disc := !disc + o.o_disconnects
+      | exception Failure reason -> failures := { scenario = name; reason } :: !failures
+      | exception e ->
+          failures := { scenario = name; reason = Printexc.to_string e } :: !failures
+    end
+  in
+  scenario "partition-mid-stream" partition_mid_stream;
+  scenario "torn-snapshot-ship" torn_snapshot_ship;
+  scenario "slow-replica-overflow" slow_replica_overflow;
+  scenario "replica-restart-resume" replica_restart_resume;
+  scenario "leader-kill-promote" leader_kill_promote;
+  { scenarios = !scenarios; queries_ok = !queries; stale_served = !stale;
+    reconnects = !reconn; disconnects = !disc; failures = List.rev !failures }

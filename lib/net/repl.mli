@@ -1,0 +1,210 @@
+(** Leader/replica replication of durable spanner state.
+
+    A {e leader} is a durable {!Rs_serve.Service} made reachable over
+    TCP: it answers the serve line protocol ({!Proto}) to query
+    clients, ships its newest checksummed snapshot to joining
+    replicas, and streams WAL records to followers as its writer
+    appends them. A {e replica} is a full store-plus-service of its
+    own — it installs the shipped snapshot, recovers from it, then
+    applies the streamed records through {!Rs_dynamic.Repair} exactly
+    as the leader did, serving stale-bounded reads with an advertised
+    [lag] (leader seq minus applied seq).
+
+    Every connection opens with one tag byte from the client:
+    - ['Q'] — query session: ['L' line] requests, ['L' reply] answers;
+    - ['G' u64 offset, u64 snap_seq] — snapshot fetch (resumable:
+      [offset] into the file previously identified by [snap_seq]; [0,
+      0] asks for the newest from the start). The leader answers
+      ['M' u32 epoch, u64 snap_seq, u64 total_len, u32 crc, name],
+      then ['C' bytes] chunks, then ['D']; the replica verifies the
+      whole-file CRC before installing under the real name;
+    - ['J' u32 known_epoch, u64 have_seq] — WAL subscription. Accepted
+      with ['K' u32 epoch, u64 leader_seq], then ['R' u32 epoch,
+      record] frames carrying {!Rs_store.Wal} records verbatim
+      (validated by the same checksum-then-parse path recovery uses)
+      and ['H' u32 epoch, u64 leader_seq] heartbeats. Refusals and
+      disconnect reasons travel as ['E' reason].
+
+    Robustness contract:
+    - every read/write runs against a {!Frame} deadline;
+    - each follower is fed through a {e bounded} send buffer — a
+      replica that cannot keep up is disconnected with an explicit
+      ['E'] reason, the leader never buffers without bound;
+    - a disconnected replica reconnects with capped exponential
+      backoff plus seeded jitter and resumes from its own durable
+      sequence number — the handshake's [have_seq] is read after the
+      service is idle, so records are neither skipped nor re-applied;
+    - leader identity is {e epoch-fenced}: the epoch lives in a file
+      in the store directory, every streamed frame carries it, and a
+      replica promoted to epoch [e] refuses any stream with epoch
+      [< e] — a deposed leader cannot un-promote it. *)
+
+(** {1 Epoch fencing} *)
+
+val read_epoch : dir:string -> int
+(** The epoch recorded in [dir]'s [epoch] file; [0] when absent. *)
+
+val write_epoch : dir:string -> int -> unit
+(** Persist atomically (temp + rename). *)
+
+(** {1 Leader} *)
+
+type leader_config = {
+  frame_timeout_s : float;  (** per-frame read/write deadline *)
+  heartbeat_s : float;  (** idle-stream heartbeat period *)
+  send_capacity : int;  (** per-follower send buffer, in frames *)
+  overflow_patience_s : float Atomic.t;
+      (** how long a full send buffer may refuse one frame before the
+          follower is declared too slow and disconnected — a buffer
+          that is full but {e draining} (a replica resuming through a
+          large backlog) is healthy backpressure, not overload *)
+  ship_chunk : int;  (** snapshot ship chunk bytes *)
+  sender_delay_s : float Atomic.t;
+      (** chaos knob: sleep per streamed frame, making the bounded
+          send buffer fill deterministically *)
+}
+
+val default_leader_config : unit -> leader_config
+(** 5 s frames, 0.5 s heartbeats, 1024-frame buffers with 5 s
+    overflow patience, 256 KiB chunks, no delay. (A function: the
+    config carries fresh atomics.) *)
+
+type leader
+
+val lead :
+  ?config:leader_config ->
+  ?proto_env:Proto.env ->
+  ?server:Tcp.server ->
+  service:Rs_serve.Service.t ->
+  store_dir:string option ->
+  host:string ->
+  port:int ->
+  unit ->
+  (leader, string) result
+(** Start serving on [host:port] ([port = 0] picks one — see
+    {!leader_port}). [?server] supplies a pre-bound listener instead
+    — the CLI binds {e before} opening any store so a taken port is a
+    one-line exit, not a half-initialized service.
+    [store_dir = None] (ephemeral backend) serves
+    queries only: join and ship requests are refused with a reason.
+    Otherwise the leader's epoch is [max 1 (read_epoch dir)],
+    persisted back, and followers are fed by tailing the directory's
+    WAL segments. [?proto_env] overrides how ['Q'] sessions evaluate
+    lines (default {!Proto.leader_env}) — a promoted or query-serving
+    replica passes an environment that rejects [delta] lines and
+    advertises its lag. *)
+
+val leader_port : leader -> int
+val leader_epoch : leader -> int
+
+val followers : leader -> int
+(** Live WAL subscriptions. *)
+
+val leader_set_refuse : leader -> bool -> unit
+(** Partition chaos: refuse new connections (see {!Tcp.set_refuse}). *)
+
+val leader_drop_connections : leader -> int
+(** Partition chaos: sever every live connection. *)
+
+val stop_leader : leader -> unit
+(** Stop the listener and all per-follower machinery. Does {e not}
+    stop the underlying service. Idempotent. *)
+
+(** {1 Replica} *)
+
+type replica_config = {
+  r_frame_timeout_s : float;
+  apply_capacity : int;  (** bounded queue between receiver and applier *)
+  reconnect_base_s : float;
+  reconnect_max_s : float;  (** backoff cap *)
+  max_retries : int;  (** consecutive failed connects before giving up *)
+  seed : int;  (** backoff jitter *)
+  fsync : Rs_store.Wal.policy;  (** the replica's own WAL durability *)
+  apply_delay_s : float Atomic.t;  (** chaos knob: slow consumer *)
+}
+
+val default_replica_config : unit -> replica_config
+
+type replica
+
+val follow :
+  ?config:replica_config ->
+  ?health_file:string ->
+  service_config:Rs_serve.Service.config ->
+  dir:string ->
+  host:string ->
+  port:int ->
+  unit ->
+  (replica, string) result
+(** Attach to a leader. An empty [dir] is bootstrapped by shipping the
+    leader's newest snapshot (resumable across interrupted attempts);
+    a [dir] that already holds a store is recovered and resumed from
+    its own sequence number. The service is started with
+    [batch_max = 1] (forced), so the replica's sequence numbers match
+    the leader's one to one. [?health_file] publishes
+    [Service.health ^ {!status_suffix}] atomically every
+    [health_every_s]. *)
+
+val replica_service : replica -> Rs_serve.Service.t
+(** Query it directly; writes should go through the leader. *)
+
+val lag : replica -> int
+(** Leader's last advertised seq minus the replica's applied seq
+    (clamped at 0) — the staleness bound served to clients. *)
+
+val connected : replica -> bool
+
+val gave_up : replica -> bool
+(** The follower loop exhausted [max_retries] consecutive failed
+    connection attempts and exited — the promote-on-disconnect signal. *)
+
+val reconnects : replica -> int
+(** Total successful re-handshakes after a disconnect. *)
+
+val replica_epoch : replica -> int
+
+val last_error : replica -> string option
+(** Why the stream last ended, e.g. the leader's ['E'] reason. *)
+
+val status_suffix : replica -> string
+(** [" role=replica leader_seq=%d lag=%d connected=%b epoch=%d"] —
+    appended to health lines and [status] replies. *)
+
+val detach : replica -> unit
+(** Stop following (domains joined, socket closed); the service keeps
+    serving what it has. Idempotent. *)
+
+val promote : replica -> int
+(** {!detach}, wait until the service is idle, bump and persist the
+    epoch, and return it. The replica's service is now the freshest
+    surviving state and refuses the deposed leader's stream. *)
+
+val stop_replica : replica -> Rs_serve.Service.status
+(** {!detach} then [Service.stop] (final snapshot, store closed). *)
+
+val kill_replica : replica -> unit
+(** {!detach} then [Service.kill] — crash simulation for chaos. *)
+
+(** {1 Clients} *)
+
+val ship :
+  ?chunk_hint:int ->
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  dir:string ->
+  unit ->
+  (int * string, string) result
+(** Fetch the leader's newest snapshot into [dir], resuming a
+    matching [.part] left by an interrupted attempt at its offset.
+    The file is verified against the leader's whole-file CRC before
+    the atomic rename; a mismatch discards the partial and reports an
+    error (the next attempt starts clean). Returns (seq, path). *)
+
+val connect_query :
+  host:string -> port:int -> timeout_s:float -> (Unix.file_descr, string) result
+(** Open a query session (sends the ['Q'] hello). *)
+
+val request :
+  Unix.file_descr -> timeout_s:float -> string -> (string, string) result
+(** One line in, one reply out, over an open query session. *)

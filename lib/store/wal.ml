@@ -88,10 +88,9 @@ let rotate w =
   w.oc <- open_segment w.dir w.next;
   w.cur_bytes <- header_len
 
-let append w delta =
-  let seq = w.next in
-  (* checksum covers seq + payload, so a record can neither be replayed
-     under the wrong sequence number nor with damaged content *)
+(* checksum covers seq + payload, so a record can neither be replayed
+   under the wrong sequence number nor with damaged content *)
+let encode_record ~seq delta =
   let body = Buffer.create 64 in
   Binio.w_u64 body seq;
   Buffer.add_string body (Rs_dynamic.Delta.to_string delta);
@@ -100,12 +99,37 @@ let append w delta =
   Binio.w_u32 rec_buf (String.length body - 8);
   Binio.w_u32 rec_buf (Crc32.of_string body);
   Buffer.add_string rec_buf body;
-  Buffer.output_buffer w.oc rec_buf;
-  w.cur_bytes <- w.cur_bytes + Buffer.length rec_buf;
+  Buffer.contents rec_buf
+
+let decode_record s ~pos =
+  let len = String.length s in
+  if len - pos < record_header_len then `Need_more
+  else begin
+    let plen = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF in
+    let crc = Int32.to_int (String.get_int32_le s (pos + 4)) land 0xFFFFFFFF in
+    let seq = Int64.to_int (String.get_int64_le s (pos + 8)) in
+    if plen > len - pos - record_header_len then `Need_more
+    else if Crc32.of_substring s ~pos:(pos + 8) ~len:(8 + plen) <> crc then
+      `Bad "record checksum mismatch"
+    else
+      match Rs_dynamic.Delta.parse (String.sub s (pos + record_header_len) plen) with
+      | delta -> `Record (seq, delta, pos + record_header_len + plen)
+      | exception Failure msg -> `Bad ("unparsable record payload: " ^ msg)
+  end
+
+let append w delta =
+  let seq = w.next in
+  let rec_s = encode_record ~seq delta in
+  output_string w.oc rec_s;
+  (* flush (not fsync) unconditionally: a record is visible to
+     same-host tailers — the replication feed — the moment append
+     returns, whatever the durability policy says about fsync *)
+  flush w.oc;
+  w.cur_bytes <- w.cur_bytes + String.length rec_s;
   w.next <- seq + 1;
   w.unsynced <- w.unsynced + 1;
   Obs.incr c_appends;
-  Obs.add c_bytes (Buffer.length rec_buf);
+  Obs.add c_bytes (String.length rec_s);
   (match w.policy with
   | Always -> do_sync w
   | Every n -> if w.unsynced >= n then do_sync w

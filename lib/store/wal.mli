@@ -57,7 +57,9 @@ val create_writer :
 
 val append : writer -> Rs_dynamic.Delta.t -> int
 (** Append one record, returning its sequence number. Syncs and/or
-    rotates per policy. *)
+    rotates per policy. The channel is always {e flushed} (records are
+    visible to same-host readers — the replication tailer — as soon as
+    [append] returns); only the [fsync] is governed by the policy. *)
 
 val next_seq : writer -> int
 
@@ -106,3 +108,28 @@ val truncate : dir:string -> truncation -> unit
 
 val segment_files : dir:string -> (int * string) list
 (** [(first_seq, absolute path)] of every segment in [dir], ascending. *)
+
+(** {1 Record codec}
+
+    The record framing is also the unit of WAL {e streaming}: a leader
+    ships records to replicas verbatim inside its transport frames, and
+    the replica validates them with the same checksum-then-parse path
+    recovery uses. *)
+
+val header_len : int
+(** Segment header bytes ([16]: magic + u64 first seq). *)
+
+val record_header_len : int
+(** Record header bytes ([16]: u32 len, u32 crc, u64 seq). *)
+
+val encode_record : seq:int -> Rs_dynamic.Delta.t -> string
+(** One record exactly as {!append} lays it down — header included. *)
+
+val decode_record :
+  string ->
+  pos:int ->
+  [ `Record of int * Rs_dynamic.Delta.t * int
+    (** (seq, delta, position just past the record) *)
+  | `Need_more  (** fewer bytes than one whole record *)
+  | `Bad of string  (** checksum or payload damage *) ]
+(** Decode the record starting at [pos]. Never raises. *)

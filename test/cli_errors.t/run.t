@@ -207,8 +207,64 @@ and heal agree on the diagnostic:
   rspan: --fsync requires --wal (there is no log to sync)
   [124]
 
-An unknown chaos scenario is named, not swallowed:
+An unknown chaos scenario is named, not swallowed — the list spans
+both the service and the network suites:
 
   $ rspan chaostest --scenario no-such-chaos chaos_scratch
-  rspan: Chaos.run: unknown scenario no-such-chaos (known: kill-writer-mid-repair, torn-wal-restart, queue-saturation, wedged-writer-failover)
+  rspan: chaostest: unknown scenario no-such-chaos (known: kill-writer-mid-repair, torn-wal-restart, queue-saturation, wedged-writer-failover, partition-mid-stream, torn-snapshot-ship, slow-replica-overflow, replica-restart-resume, leader-kill-promote)
   [124]
+
+The TCP endpoint validates its address before any I/O — serve and
+replica agree on the diagnostics:
+
+  $ rspan serve --tcp nocolon g.txt
+  rspan: serve: --tcp expected HOST:PORT, got nocolon
+  [124]
+
+  $ rspan serve --tcp 127.0.0.1:notaport g.txt
+  rspan: serve: --tcp port is not an integer: notaport
+  [124]
+
+  $ rspan serve --tcp 127.0.0.1:99999 g.txt
+  rspan: serve: --tcp port out of range: 99999
+  [124]
+
+A replica without a leader, or without a durable store of its own, is
+a contradiction named before any snapshot is shipped:
+
+  $ rspan replica --wal rep_store
+  rspan: replica: --follow HOST:PORT is required (a replica needs a leader)
+  [124]
+
+  $ rspan replica --follow 127.0.0.1:7530
+  rspan: replica: --follow needs --wal DIR (the replica's own durable store)
+  [124]
+
+  $ rspan replica --follow nocolon --wal rep_store
+  rspan: replica: --follow expected HOST:PORT, got nocolon
+  [124]
+
+  $ rspan ship
+  rspan: ship: HOST:PORT of a leader is required
+  [124]
+
+  $ rspan ship 127.0.0.1:99999 ship_dir
+  rspan: ship: port out of range: 99999
+  [124]
+
+A taken port is a one-line exit before any store is opened: hold the
+port with an ephemeral server, then try to bind it again.
+
+  $ cat > hold.txt <<SCRIPT
+  > sleep 5
+  > quit
+  > SCRIPT
+  $ rspan serve --ephemeral --tcp 127.0.0.1:37531 --script hold.txt g.txt > held.log 2>&1 &
+  $ sleep 1
+  $ rspan replica --follow 127.0.0.1:37530 --wal rep_store --tcp 127.0.0.1:37531
+  rspan: replica: cannot bind 127.0.0.1:37531: Address already in use
+  [124]
+  $ rspan serve --ephemeral --tcp 127.0.0.1:37531 g.txt
+  rspan: serve: cannot bind 127.0.0.1:37531: Address already in use
+  [124]
+  $ wait
